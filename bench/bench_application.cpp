@@ -1,0 +1,241 @@
+// E4 — slides 10 & 19-21: a coupled application on three architectures.
+//
+// The application: a driver ("main part") alternates its own complex work
+// with a highly scalable stencil phase of 8 workers x 40 Jacobi iterations
+// over a 1024-wide grid, for 6 coupling steps.
+//
+//   * DEEP           : driver on 2 CN; HSCP spawned onto 8 booster nodes,
+//                      halos over the EXTOLL torus (Global MPI + CBP).
+//   * cluster-only   : the same 10 processes all on cluster nodes over IB.
+//   * accel. cluster : 8 hosts, each with a PCIe GPU; every Jacobi iteration
+//                      stages halo rows host<->device around the GPU sweep
+//                      and exchanges halos host-side over IB.
+//
+// Reported: wall time, energy, achieved GFlop/W.  Expected shape: DEEP
+// finishes first (memory-bound sweeps love the KNC's bandwidth; halos stay
+// on the torus) and burns the least energy; the accelerated cluster has the
+// fastest raw silicon but loses it to per-iteration PCIe staging.
+
+#include <string>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "bench/common.hpp"
+#include "hw/compute.hpp"
+#include "sys/accelerated.hpp"
+#include "sys/system.hpp"
+#include "util/units.hpp"
+
+namespace da = deep::apps;
+namespace db = deep::bench;
+namespace dh = deep::hw;
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+namespace dsy = deep::sys;
+namespace du = deep::util;
+
+namespace {
+
+constexpr int kWorkers = 8;       // HSCP width
+constexpr int kSteps = 6;         // coupling steps
+constexpr int kIters = 40;        // Jacobi iterations per step
+constexpr int kNx = 1024;         // grid columns
+constexpr int kRowsPerWorker = 128;
+constexpr double kDriverFlops = 2e9;  // complex part per step
+constexpr dm::Tag kBcTag = 21, kResTag = 22;
+
+struct Outcome {
+  double time_ms = 0;
+  double joules = 0;
+  double gflops_per_watt = 0;
+};
+
+da::StencilConfig stencil_cfg() {
+  da::StencilConfig cfg;
+  cfg.nx = kNx;
+  cfg.rows = kRowsPerWorker;
+  cfg.iterations = kIters;
+  return cfg;
+}
+
+/// DEEP variant: driver on the cluster, HSCP spawned onto the booster.
+Outcome run_deep() {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 2;
+  cfg.booster_nodes = kWorkers;
+  cfg.gateways = 2;
+  dsy::DeepSystem sys(cfg);
+
+  sys.programs().add("hscp", [](dsy::ProgramEnv& env) {
+    dm::Mpi& mpi = env.mpi;
+    for (int step = 0; step < kSteps; ++step) {
+      double bc[1] = {0};
+      if (mpi.rank() == 0) mpi.recv<double>(*mpi.parent(), 0, kBcTag, bc);
+      mpi.bcast<double>(mpi.world(), 0, bc);
+      auto scfg = stencil_cfg();
+      scfg.top_value = bc[0];
+      const auto res = da::run_jacobi(mpi, mpi.world(), scfg);
+      if (mpi.rank() == 0) {
+        const double out[1] = {res.checksum};
+        mpi.send<double>(*mpi.parent(), 0, kResTag,
+                         std::span<const double>(out, 1));
+      }
+    }
+  });
+
+  Outcome out;
+  sys.programs().add("main", [&](dsy::ProgramEnv& env) {
+    dm::Mpi& mpi = env.mpi;
+    auto booster = mpi.comm_spawn(mpi.world(), 0, "hscp", {}, kWorkers);
+    if (mpi.rank() != 0) return;
+    const auto t0 = mpi.ctx().now();
+    for (int step = 0; step < kSteps; ++step) {
+      mpi.compute({kDriverFlops, 0, 0.05}, mpi.node().spec().cores);
+      const double bc[1] = {1.0 + step};
+      mpi.send<double>(booster, 0, kBcTag, std::span<const double>(bc, 1));
+      double res[1];
+      mpi.recv<double>(booster, 0, kResTag, res);
+    }
+    out.time_ms = (mpi.ctx().now() - t0).seconds() * 1e3;
+  });
+  sys.launch("main", 2);
+  sys.run();
+  const auto e = sys.energy();
+  out.joules = e.total_joules();
+  out.gflops_per_watt = e.gflops_per_watt();
+  return out;
+}
+
+/// Cluster-only variant: driver + HSCP all on cluster nodes over IB.
+Outcome run_cluster_only() {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 2 + kWorkers;
+  cfg.booster_nodes = 1;  // present but idle (not charged: powered booster=1)
+  cfg.gateways = 1;
+  dsy::DeepSystem sys(cfg);
+
+  Outcome out;
+  sys.programs().add("main", [&](dsy::ProgramEnv& env) {
+    dm::Mpi& mpi = env.mpi;
+    // Ranks 0-1: driver; ranks 2..9: HSCP workers.
+    const bool driver = mpi.rank() < 2;
+    auto part = mpi.split(mpi.world(), driver ? 0 : 1, mpi.rank());
+    if (driver) {
+      if (mpi.rank() != 0) return;
+      const auto t0 = mpi.ctx().now();
+      for (int step = 0; step < kSteps; ++step) {
+        mpi.compute({kDriverFlops, 0, 0.05}, mpi.node().spec().cores);
+        const double bc[1] = {1.0 + step};
+        mpi.send<double>(mpi.world(), 2, kBcTag, std::span<const double>(bc, 1));
+        double res[1];
+        mpi.recv<double>(mpi.world(), 2, kResTag, res);
+      }
+      out.time_ms = (mpi.ctx().now() - t0).seconds() * 1e3;
+    } else {
+      for (int step = 0; step < kSteps; ++step) {
+        double bc[1] = {0};
+        if (part.rank() == 0) mpi.recv<double>(mpi.world(), 0, kBcTag, bc);
+        mpi.bcast<double>(part, 0, bc);
+        auto scfg = stencil_cfg();
+        scfg.top_value = bc[0];
+        const auto res = da::run_jacobi(mpi, part, scfg);
+        if (part.rank() == 0) {
+          const double o[1] = {res.checksum};
+          mpi.send<double>(mpi.world(), 0, kResTag,
+                           std::span<const double>(o, 1));
+        }
+      }
+    }
+  });
+  sys.launch("main", 2 + kWorkers);
+  sys.run();
+  const auto e = sys.energy();
+  // Subtract the idle placeholder booster node + gateway: this variant owns
+  // neither.
+  out.joules = e.cluster_joules;
+  const ds::Duration elapsed{sys.engine().now().ps};
+  out.gflops_per_watt =
+      e.total_flops > 0 && out.joules > 0 ? e.total_flops / out.joules * 1e-9 : 0;
+  (void)elapsed;
+  return out;
+}
+
+/// Accelerated-cluster variant: 8 hosts with GPUs; rank 0 also drives.
+Outcome run_accelerated() {
+  dsy::AcceleratedConfig cfg;
+  cfg.nodes = kWorkers;
+  dsy::AcceleratedCluster sys(cfg);
+
+  Outcome out;
+  sys.launch(
+      [&](dsy::AccelProgramEnv& env) {
+        dm::Mpi& mpi = env.mpi;
+        const auto t0 = mpi.ctx().now();
+        const std::int64_t halo_bytes = kNx * 8;
+        const auto sweep = dh::kernels::jacobi2d(kNx, kRowsPerWorker);
+        for (int step = 0; step < kSteps; ++step) {
+          if (mpi.rank() == 0)
+            mpi.compute({kDriverFlops, 0, 0.05}, mpi.node().spec().cores);
+          double bc[1] = {1.0 + step};
+          mpi.bcast<double>(mpi.world(), 0, std::span<double>(bc, 1));
+          for (int it = 0; it < kIters; ++it) {
+            // Host-side halo exchange (data staged out of the GPU first).
+            std::vector<double> halo(static_cast<std::size_t>(kNx));
+            std::vector<dm::RequestPtr> reqs;
+            std::vector<double> up_halo(halo), down_halo(halo);
+            if (mpi.rank() > 0) {
+              reqs.push_back(mpi.irecv<double>(mpi.world(), mpi.rank() - 1, 1,
+                                               std::span<double>(up_halo)));
+              reqs.push_back(mpi.isend<double>(
+                  mpi.world(), mpi.rank() - 1, 2,
+                  std::span<const double>(halo)));
+            }
+            if (mpi.rank() + 1 < mpi.size()) {
+              reqs.push_back(mpi.irecv<double>(mpi.world(), mpi.rank() + 1, 2,
+                                               std::span<double>(down_halo)));
+              reqs.push_back(mpi.isend<double>(
+                  mpi.world(), mpi.rank() + 1, 1,
+                  std::span<const double>(halo)));
+            }
+            mpi.wait_all(reqs);
+            // GPU sweep with halo rows staged across PCIe each iteration.
+            env.gpu.launch(mpi.ctx(), sweep, 2 * halo_bytes, 2 * halo_bytes);
+          }
+          mpi.barrier(mpi.world());
+        }
+        if (mpi.rank() == 0) out.time_ms = (mpi.ctx().now() - t0).seconds() * 1e3;
+      },
+      kWorkers);
+  sys.run();
+  const auto e = sys.energy();
+  out.joules = e.total_joules();
+  out.gflops_per_watt = e.gflops_per_watt();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = db::want_csv(argc, argv);
+
+  db::banner("E4: coupled application on three architectures (slides 10, 19)");
+  const auto deep = run_deep();
+  const auto cluster = run_cluster_only();
+  const auto accel = run_accelerated();
+
+  du::Table table({"architecture", "time_ms", "energy_J", "GFlops_per_W"});
+  table.row().add("DEEP (cluster+booster)").add(deep.time_ms).add(deep.joules)
+      .add(deep.gflops_per_watt);
+  table.row().add("cluster-only").add(cluster.time_ms).add(cluster.joules)
+      .add(cluster.gflops_per_watt);
+  table.row().add("accelerated cluster").add(accel.time_ms).add(accel.joules)
+      .add(accel.gflops_per_watt);
+  db::print_table(table, csv);
+
+  const bool faster = deep.time_ms < cluster.time_ms && deep.time_ms < accel.time_ms;
+  const bool greener = deep.joules < cluster.joules && deep.joules < accel.joules;
+  return db::verdict(
+      "the Cluster-Booster system finishes the coupled application first and "
+      "with the least energy; PCIe staging wastes the GPU's raw speed",
+      faster && greener);
+}

@@ -1,0 +1,165 @@
+// Ablation — collective algorithm choices inside the Global MPI.
+//
+// DESIGN.md calls out the eager/rendezvous and collective-algorithm design
+// choices; this bench quantifies them on both fabrics:
+//   (a) bcast: binomial tree vs van-de-Geijn scatter+allgather,
+//   (b) allreduce: recursive doubling vs reduce+bcast,
+//   (c) the MPI eager threshold: p2p latency around the eager/rendezvous
+//       switch on the EXTOLL torus.
+//
+// Expected shapes: binomial wins small bcasts (latency), scatter+allgather
+// wins bulk (each byte moves at most twice); recursive doubling halves the
+// allreduce latency; the rendezvous path costs an extra round trip right
+// above the threshold but wins for bulk by skipping the eager copy.
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "tests/mpi_rig.hpp"
+#include "util/units.hpp"
+
+namespace db = deep::bench;
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+namespace du = deep::util;
+using deep::testing::BoosterRig;
+using deep::testing::MpiRig;
+using CollAlgo = dm::Mpi::CollAlgo;
+
+namespace {
+
+constexpr int kRanks = 16;
+
+template <typename Rig>
+double bcast_us(std::size_t bytes, CollAlgo algo) {
+  Rig rig(kRanks);
+  double us = 0;
+  rig.run([&](dm::Mpi& mpi) {
+    std::vector<std::byte> data(bytes);
+    const auto t0 = mpi.ctx().now();
+    mpi.bcast<std::byte>(mpi.world(), 0, std::span<std::byte>(data), algo);
+    mpi.barrier(mpi.world());
+    if (mpi.rank() == 0) us = (mpi.ctx().now() - t0).micros();
+  });
+  return us;
+}
+
+template <typename Rig>
+double allreduce_us(std::size_t elems, CollAlgo algo) {
+  Rig rig(kRanks);
+  double us = 0;
+  rig.run([&](dm::Mpi& mpi) {
+    const std::vector<double> in(elems, 1.0);
+    std::vector<double> out(elems);
+    const auto t0 = mpi.ctx().now();
+    mpi.allreduce<double>(mpi.world(), dm::Op::Sum,
+                          std::span<const double>(in), std::span<double>(out),
+                          algo);
+    mpi.barrier(mpi.world());
+    if (mpi.rank() == 0) us = (mpi.ctx().now() - t0).micros();
+  });
+  return us;
+}
+
+double pingpong_us(std::int64_t bytes, std::int64_t eager_threshold) {
+  dm::MpiParams params;
+  params.eager_threshold = eager_threshold;
+  BoosterRig rig(2, params);
+  double us = 0;
+  rig.run([&](dm::Mpi& mpi) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+    const dm::Rank peer = 1 - mpi.rank();
+    const auto t0 = mpi.ctx().now();
+    for (int i = 0; i < 4; ++i) {
+      if (mpi.rank() == 0) {
+        mpi.send_bytes(mpi.world(), peer, 0, buf);
+        mpi.recv_bytes(mpi.world(), peer, 0, buf);
+      } else {
+        mpi.recv_bytes(mpi.world(), peer, 0, buf);
+        mpi.send_bytes(mpi.world(), peer, 0, buf);
+      }
+    }
+    if (mpi.rank() == 0) us = (mpi.ctx().now() - t0).micros() / 8.0;
+  });
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = db::want_csv(argc, argv);
+  int failures = 0;
+
+  db::banner("Ablation A: bcast algorithm x payload x fabric (16 ranks)");
+  du::Table bc({"bytes", "ib_binomial_us", "ib_sag_us", "extoll_binomial_us",
+                "extoll_sag_us"});
+  double small_bin = 0, small_sag = 0, big_bin = 0, big_sag = 0;
+  for (std::size_t bytes : {64u, 4096u, 262144u, 4194304u}) {
+    const double ib_bin = bcast_us<MpiRig>(bytes, CollAlgo::BinomialTree);
+    const double ib_sag = bcast_us<MpiRig>(bytes, CollAlgo::ScatterAllgather);
+    const double ex_bin = bcast_us<BoosterRig>(bytes, CollAlgo::BinomialTree);
+    const double ex_sag =
+        bcast_us<BoosterRig>(bytes, CollAlgo::ScatterAllgather);
+    bc.row().add(static_cast<std::int64_t>(bytes)).add(ib_bin).add(ib_sag)
+        .add(ex_bin).add(ex_sag);
+    if (bytes == 64u) {
+      small_bin = ib_bin;
+      small_sag = ib_sag;
+    }
+    if (bytes == 4194304u) {
+      big_bin = ib_bin;
+      big_sag = ib_sag;
+    }
+  }
+  db::print_table(bc, csv);
+  failures += db::verdict(
+      "binomial wins small broadcasts; scatter+allgather wins bulk",
+      small_bin < small_sag && big_sag < 0.7 * big_bin);
+
+  db::banner("Ablation B: allreduce algorithm (16 ranks, doubles)");
+  du::Table ar({"elems", "ib_rd_us", "ib_reduce_bcast_us", "ib_rabenseifner_us",
+                "extoll_rd_us", "extoll_rabenseifner_us"});
+  double rd_small = 0, rb_small = 0, rd_big = 0, rab_big = 0;
+  for (std::size_t elems : {16u, 1024u, 131072u}) {
+    const double ib_rd = allreduce_us<MpiRig>(elems, CollAlgo::RecursiveDoubling);
+    const double ib_rb = allreduce_us<MpiRig>(elems, CollAlgo::ReduceBcast);
+    const double ib_rab = allreduce_us<MpiRig>(elems, CollAlgo::Rabenseifner);
+    const double ex_rd =
+        allreduce_us<BoosterRig>(elems, CollAlgo::RecursiveDoubling);
+    const double ex_rab =
+        allreduce_us<BoosterRig>(elems, CollAlgo::Rabenseifner);
+    ar.row().add(static_cast<std::int64_t>(elems)).add(ib_rd).add(ib_rb)
+        .add(ib_rab).add(ex_rd).add(ex_rab);
+    if (elems == 16u) {
+      rd_small = ib_rd;
+      rb_small = ib_rb;
+    }
+    if (elems == 131072u) {
+      rd_big = ib_rd;
+      rab_big = ib_rab;
+    }
+  }
+  db::print_table(ar, csv);
+  failures += db::verdict(
+      "recursive doubling beats reduce+bcast for latency-bound allreduces; "
+      "Rabenseifner wins bulk vectors",
+      rd_small < rb_small && rab_big < 0.8 * rd_big);
+
+  db::banner("Ablation C: eager/rendezvous threshold on the torus (32 KiB msg)");
+  du::Table eg({"eager_threshold", "pingpong_us_32KiB"});
+  const std::int64_t msg = 32 * du::KiB;
+  double forced_eager = 0, forced_rndv = 0;
+  for (std::int64_t thr : {std::int64_t{0}, 16 * du::KiB, 64 * du::KiB}) {
+    const double us = pingpong_us(msg, thr);
+    eg.row().add(thr).add(us);
+    if (thr == 0) forced_rndv = us;
+    if (thr == 64 * du::KiB) forced_eager = us;
+  }
+  db::print_table(eg, csv);
+  failures += db::verdict(
+      "a 32 KiB message is faster eager (VELO) than rendezvous (RTS/CTS "
+      "round trip + RMA setup) — the threshold placement matters",
+      forced_eager < forced_rndv);
+
+  return failures == 0 ? 0 : 1;
+}

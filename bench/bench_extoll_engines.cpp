@@ -1,0 +1,157 @@
+// E6 — slide 16: the EXTOLL NIC engines.
+//
+//   * VELO: latency-optimised small-message engine (zero-copy MPI eager path)
+//   * RMA : descriptor-based bulk engine (MPI rendezvous path)
+//
+// Measures one-way latency, achievable message rate, and streaming bandwidth
+// per engine versus message size, plus the ParaStation-MPI "auto" path that
+// switches eager(VELO) -> rendezvous(RMA) at the threshold.
+//
+// Expected shape: VELO wins latency and message rate for small messages; RMA
+// reaches full link bandwidth for bulk; the auto path follows VELO below the
+// eager threshold and RMA above it.
+
+#include <functional>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "mpi/mpi.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+// The bench reuses the test rig that stands worlds up on a raw fabric.
+#include "tests/mpi_rig.hpp"
+
+namespace db = deep::bench;
+namespace dm = deep::mpi;
+namespace dn = deep::net;
+namespace ds = deep::sim;
+namespace du = deep::util;
+
+namespace {
+
+struct EngineNumbers {
+  double latency_us = 0;
+  double rate_msgs_per_sec = 0;
+  double bandwidth_gbs = 0;
+};
+
+EngineNumbers measure_engine(std::int64_t bytes, dn::Service svc) {
+  EngineNumbers out;
+  {  // one-way latency
+    ds::Engine eng;
+    dn::TorusParams p;
+    p.dims = {4, 4, 4};
+    dn::TorusFabric t(eng, "extoll", p);
+    ds::TimePoint arrival{};
+    t.attach(0).bind(dn::Port::Raw, [&](dn::Message&&) { arrival = eng.now(); });
+    t.attach(1);
+    dn::Message m;
+    m.src = 1;
+    m.dst = 0;
+    m.size_bytes = bytes;
+    t.send(std::move(m), svc);
+    eng.run();
+    out.latency_us = arrival.seconds() * 1e6;
+  }
+  {  // back-to-back burst: message rate and bandwidth
+    constexpr int kBurst = 64;
+    ds::Engine eng;
+    dn::TorusParams p;
+    p.dims = {4, 4, 4};
+    dn::TorusFabric t(eng, "extoll", p);
+    ds::TimePoint last{};
+    t.attach(0).bind(dn::Port::Raw, [&](dn::Message&&) { last = eng.now(); });
+    t.attach(1);
+    for (int i = 0; i < kBurst; ++i) {
+      dn::Message m;
+      m.src = 1;
+      m.dst = 0;
+      m.size_bytes = bytes;
+      t.send(std::move(m), svc);
+    }
+    eng.run();
+    out.rate_msgs_per_sec = kBurst / last.seconds();
+    out.bandwidth_gbs = static_cast<double>(bytes) * kBurst / last.seconds() / 1e9;
+  }
+  return out;
+}
+
+/// MPI-level ping (half round trip) between two booster ranks: exercises the
+/// ParaStation eager/rendezvous switch on top of the engines.
+double measure_mpi_us(std::int64_t bytes) {
+  deep::testing::BridgedMpiRig rig(1, 2, 1);
+  ds::Duration half{};
+  rig.run([&](dm::Mpi& mpi) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+    if (mpi.rank() == 1) {  // booster rank A
+      const auto t0 = mpi.ctx().now();
+      for (int i = 0; i < 4; ++i) {
+        mpi.send_bytes(mpi.world(), 2, 0, buf);
+        mpi.recv_bytes(mpi.world(), 2, 0, buf);
+      }
+      half = ds::Duration{(mpi.ctx().now() - t0).ps / 8};
+    } else if (mpi.rank() == 2) {
+      for (int i = 0; i < 4; ++i) {
+        mpi.recv_bytes(mpi.world(), 1, 0, buf);
+        mpi.send_bytes(mpi.world(), 1, 0, buf);
+      }
+    }
+  });
+  return half.micros();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = db::want_csv(argc, argv);
+
+  db::banner("E6: EXTOLL VELO vs RMA engines (slide 16)");
+  du::Table table({"bytes", "velo_us", "rma_us", "velo_Mmsgs", "rma_Mmsgs",
+                   "velo_GBs", "rma_GBs", "psmpi_us"});
+
+  double velo_small_lat = 0, rma_small_lat = 0;
+  double velo_small_rate = 0, rma_small_rate = 0;
+  double rma_big_bw = 0;
+  double mpi_small = 0, mpi_big = 0;
+  for (std::int64_t bytes = 8; bytes <= 2 * du::MiB; bytes *= 8) {
+    const auto velo = measure_engine(bytes, dn::Service::Small);
+    const auto rma = measure_engine(bytes, dn::Service::Bulk);
+    const double psmpi = measure_mpi_us(bytes);
+    table.row()
+        .add(bytes)
+        .add(velo.latency_us)
+        .add(rma.latency_us)
+        .add(velo.rate_msgs_per_sec / 1e6)
+        .add(rma.rate_msgs_per_sec / 1e6)
+        .add(velo.bandwidth_gbs)
+        .add(rma.bandwidth_gbs)
+        .add(psmpi);
+    if (bytes == 8) {
+      velo_small_lat = velo.latency_us;
+      rma_small_lat = rma.latency_us;
+      velo_small_rate = velo.rate_msgs_per_sec;
+      rma_small_rate = rma.rate_msgs_per_sec;
+      mpi_small = psmpi;
+    }
+    if (bytes == 2 * du::MiB) {
+      rma_big_bw = rma.bandwidth_gbs;
+      mpi_big = psmpi;
+    }
+  }
+  db::print_table(table, csv);
+
+  const bool velo_wins_small =
+      velo_small_lat < rma_small_lat && velo_small_rate > 2 * rma_small_rate;
+  const bool rma_fills_link = rma_big_bw > 4.5;  // of the 5 GB/s link
+  // The MPI auto path: sub-2us small-message latency (VELO class), and large
+  // messages limited by wire time (RMA class), not per-message overhead.
+  const double wire_2mib_us = 2.0 * du::MiB / 5.0e9 * 1e6;
+  const bool auto_follows =
+      mpi_small < 2.0 && mpi_big < 1.35 * wire_2mib_us;
+  return db::verdict(
+      "VELO dominates small-message latency/rate, RMA saturates the link for "
+      "bulk, ParaStation MPI switches between them",
+      velo_wins_small && rma_fills_link && auto_follows);
+}

@@ -1,0 +1,136 @@
+// E2 — slide 8: "IB can be assumed as fast as PCIe besides latency."
+//
+// One-way latency and streaming bandwidth versus message size for the three
+// interconnects of the DEEP machine: PCIe (host<->accelerator, both the raw
+// link and the DMA-offload path), InfiniBand (cluster fabric) and EXTOLL
+// (booster torus, neighbour hop).
+//
+// Expected shape: at large messages all links converge to their ~5-6 GB/s
+// bandwidths (IB == PCIe); at small messages the latency ordering is
+// PCIe (~0.5 us) < EXTOLL (~0.7 us) < IB (~1.5 us) << PCIe-DMA (~8 us).
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "hw/gpu.hpp"
+#include "net/crossbar.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace db = deep::bench;
+namespace dn = deep::net;
+namespace ds = deep::sim;
+namespace du = deep::util;
+
+namespace {
+
+/// One-way delivery time of a single message on a two-node fabric.
+ds::Duration fabric_latency(const std::function<dn::Fabric*(ds::Engine&)>& make,
+                            std::int64_t bytes, dn::Service svc) {
+  ds::Engine eng;
+  std::unique_ptr<dn::Fabric> fabric(make(eng));
+  ds::TimePoint arrival{};
+  fabric->nic(0).bind(dn::Port::Raw,
+                      [&](dn::Message&&) { arrival = eng.now(); });
+  dn::Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.size_bytes = bytes;
+  fabric->send(std::move(m), svc);
+  eng.run();
+  return ds::Duration{arrival.ps};
+}
+
+/// Streaming bandwidth: k back-to-back messages, time to last delivery.
+double fabric_bandwidth(const std::function<dn::Fabric*(ds::Engine&)>& make,
+                        std::int64_t bytes, int k) {
+  ds::Engine eng;
+  std::unique_ptr<dn::Fabric> fabric(make(eng));
+  ds::TimePoint last{};
+  fabric->nic(0).bind(dn::Port::Raw, [&](dn::Message&&) { last = eng.now(); });
+  for (int i = 0; i < k; ++i) {
+    dn::Message m;
+    m.src = 1;
+    m.dst = 0;
+    m.size_bytes = bytes;
+    fabric->send(std::move(m), dn::Service::Bulk);
+  }
+  eng.run();
+  return static_cast<double>(bytes) * k / last.seconds();
+}
+
+dn::Fabric* make_ib(ds::Engine& eng) {
+  auto* f = new dn::CrossbarFabric(eng, "ib", {});
+  f->attach(0);
+  f->attach(1);
+  return f;
+}
+
+dn::Fabric* make_extoll(ds::Engine& eng) {
+  dn::TorusParams p;
+  p.dims = {4, 4, 4};
+  auto* f = new dn::TorusFabric(eng, "extoll", p);
+  f->attach(0);
+  f->attach(1);  // x-neighbour of node 0
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = db::want_csv(argc, argv);
+  deep::hw::PcieModel pcie;
+
+  db::banner("E2: fabric latency & bandwidth vs message size (slide 8)");
+  du::Table table({"bytes", "pcie_us", "pcie_dma_us", "ib_us", "extoll_us",
+                   "pcie_GBs", "ib_GBs", "extoll_GBs"});
+
+  double small_pcie = 0, small_ib = 0, small_extoll = 0;
+  double big_pcie_bw = 0, big_ib_bw = 0, big_extoll_bw = 0;
+  for (std::int64_t bytes = 8; bytes <= 16 * du::MiB; bytes *= 8) {
+    const double pcie_us = pcie.pio_time(bytes).micros();
+    const double dma_us = pcie.transfer_time(bytes).micros();
+    const dn::Service svc =
+        bytes <= 16 * du::KiB ? dn::Service::Small : dn::Service::Bulk;
+    const double ib_us = fabric_latency(make_ib, bytes, svc).micros();
+    const double ex_us = fabric_latency(make_extoll, bytes, svc).micros();
+    const double pcie_bw =
+        static_cast<double>(bytes) / pcie.transfer_time(bytes).seconds() / 1e9;
+    const double ib_bw = fabric_bandwidth(make_ib, bytes, 16) / 1e9;
+    const double ex_bw = fabric_bandwidth(make_extoll, bytes, 16) / 1e9;
+
+    table.row()
+        .add(bytes)
+        .add(pcie_us)
+        .add(dma_us)
+        .add(ib_us)
+        .add(ex_us)
+        .add(pcie_bw)
+        .add(ib_bw)
+        .add(ex_bw);
+    if (bytes == 8) {
+      small_pcie = pcie_us;
+      small_ib = ib_us;
+      small_extoll = ex_us;
+    }
+    if (bytes == 16 * du::MiB) {
+      big_pcie_bw = pcie_bw;
+      big_ib_bw = ib_bw;
+      big_extoll_bw = ex_bw;
+    }
+  }
+  db::print_table(table, csv);
+
+  // The slide-8 claim, quantified: bandwidth parity within 25%, latency gap
+  // of at least 2x between raw PCIe and IB.
+  const bool bw_parity = big_ib_bw > 0.75 * big_pcie_bw &&
+                         big_ib_bw < 1.25 * big_pcie_bw &&
+                         big_extoll_bw > 0.6 * big_pcie_bw;
+  const bool latency_gap = small_ib > 2.0 * small_pcie;
+  const bool extoll_low = small_extoll < small_ib;
+  return db::verdict(
+      "IB matches PCIe bandwidth at large messages but trails in latency; "
+      "EXTOLL latency sits below IB",
+      bw_parity && latency_gap && extoll_low);
+}

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints the series behind one of the paper's figures/claims as
+// an aligned table (add --csv for machine-readable output) plus a short
+// SHAPE-CHECK verdict stating whether the qualitative claim reproduced.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace deep::bench {
+
+inline bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  return false;
+}
+
+inline void print_table(const util::Table& table, bool csv) {
+  if (csv)
+    table.print_csv(std::cout);
+  else
+    table.print_pretty(std::cout);
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline int verdict(const std::string& claim, bool reproduced) {
+  std::printf("\nSHAPE-CHECK [%s]: %s\n", reproduced ? "PASS" : "FAIL",
+              claim.c_str());
+  return reproduced ? 0 : 1;
+}
+
+}  // namespace deep::bench

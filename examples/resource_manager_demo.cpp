@@ -1,0 +1,106 @@
+// Dynamic vs static booster assignment (slide 21: "resources managed
+// statically or dynamically").
+//
+// Four concurrent job streams share a 16-node booster: one wide stream
+// (10 booster nodes per job) and three narrow ones (2 nodes per job).
+// With one dynamic pool everything fits side by side; with the booster
+// statically partitioned per cluster node (4 x 4, the way host-attached
+// accelerators are bound to hosts) the wide job can never run, and the
+// booster idles.
+//
+//   $ ./resource_manager_demo
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sys/system.hpp"
+
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+namespace dsy = deep::sys;
+
+namespace {
+
+constexpr dm::Tag kDoneTag = 5;
+
+struct MixResult {
+  double utilisation = 0;
+  std::int64_t failures = 0;
+  double makespan_ms = 0;
+};
+
+MixResult run_mix(dsy::AllocPolicy policy, bool verbose) {
+  dsy::SystemConfig config;
+  config.cluster_nodes = 4;
+  config.booster_nodes = 16;
+  config.gateways = 2;
+  config.alloc_policy = policy;
+  config.static_partitions = 4;  // one fixed slice per cluster node
+  dsy::DeepSystem system(config);
+
+  // Booster job: crunch, then report completion to the parent.
+  system.programs().add("crunch", [](dsy::ProgramEnv& env) {
+    env.mpi.compute({2e10, 0, 0}, env.mpi.node().spec().cores);
+    env.mpi.barrier(env.mpi.world());
+    if (env.mpi.rank() == 0) {
+      const std::byte done[1] = {};
+      env.mpi.send_bytes(*env.mpi.parent(), 0, kDoneTag, done);
+    }
+  });
+
+  // Every cluster rank drives its own stream of 3 jobs.
+  system.programs().add("driver", [&](dsy::ProgramEnv& env) {
+    dm::Mpi& mpi = env.mpi;
+    auto solo = mpi.split(mpi.world(), mpi.rank(), 0);  // one comm per stream
+    const int want = mpi.rank() == 0 ? 10 : 2;
+    const dm::Info info{{"deep_partition", std::to_string(mpi.rank())}};
+    for (int round = 0; round < 3; ++round) {
+      try {
+        auto inter = mpi.comm_spawn(solo, 0, "crunch", {}, want, info);
+        std::byte done[1];
+        mpi.recv_bytes(inter, 0, kDoneTag, done);
+      } catch (const deep::util::ResourceError&) {
+        if (verbose)
+          std::printf("    job (stream %d, %d booster nodes) REFUSED\n",
+                      mpi.rank(), want);
+        mpi.ctx().delay(ds::milliseconds(2));  // back off, try next round
+      }
+    }
+  });
+
+  auto job = system.launch("driver", 4);
+  system.run();
+
+  MixResult r;
+  r.utilisation = system.resource_manager().utilisation();
+  r.failures = system.resource_manager().failed_allocations();
+  r.makespan_ms = job.finished_at().seconds() * 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("job mix: 4 streams x 3 jobs on a 16-node booster "
+              "(stream 0: 10 BN/job, streams 1-3: 2 BN/job)\n\n");
+  std::printf("--- static partitions (4 x 4 nodes, accelerated-cluster style) ---\n");
+  const auto s = run_mix(dsy::AllocPolicy::StaticPartition, true);
+  std::printf("--- dynamic pool (DEEP resource management) ---\n");
+  const auto d = run_mix(dsy::AllocPolicy::Dynamic, true);
+
+  std::printf("\n%-22s %12s %12s %12s\n", "policy", "utilisation", "refusals",
+              "makespan");
+  std::printf("%-22s %11.1f%% %12lld %9.2f ms\n", "static partition",
+              s.utilisation * 100, static_cast<long long>(s.failures),
+              s.makespan_ms);
+  std::printf("%-22s %11.1f%% %12lld %9.2f ms\n", "dynamic pool",
+              d.utilisation * 100, static_cast<long long>(d.failures),
+              d.makespan_ms);
+
+  const bool ok = d.failures < s.failures && d.utilisation > s.utilisation;
+  std::printf("\n%s: dynamic assignment %s\n", ok ? "VERIFIED" : "FAILED",
+              ok ? "fits jobs static partitioning refuses, at higher utilisation"
+                 : "did not beat static partitioning (unexpected)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every reproduced figure/claim of the paper plus the ablations,
+# dumping CSV series to results/ and a combined log to bench_output.txt.
+set -e
+BUILD=${1:-build}
+OUT=results
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/*; do
+  name=$(basename "$b")
+  echo "== $name =="
+  if [ "$name" = "bench_micro" ]; then
+    "$b" --benchmark_format=csv > "$OUT/$name.csv"
+  else
+    "$b" --csv > "$OUT/$name.csv" || { echo "SHAPE-CHECK FAILED: $name"; exit 1; }
+  fi
+done
+echo "all shape checks passed; CSV series in $OUT/"

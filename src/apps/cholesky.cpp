@@ -1,0 +1,196 @@
+#include "apps/cholesky.hpp"
+
+#include <cmath>
+
+#include "hw/compute.hpp"
+#include "util/error.hpp"
+
+namespace deep::apps {
+
+TiledMatrix::TiledMatrix(int num_tiles, int tile_size)
+    : nt_(num_tiles), ts_(tile_size) {
+  DEEP_EXPECT(num_tiles >= 1 && tile_size >= 1, "TiledMatrix: bad dimensions");
+  data_.assign(static_cast<std::size_t>(nt_) * nt_ * ts_ * ts_, 0.0);
+}
+
+std::span<double> TiledMatrix::tile(int i, int j) {
+  DEEP_EXPECT(i >= 0 && i < nt_ && j >= 0 && j < nt_, "tile: out of range");
+  const std::size_t elems = static_cast<std::size_t>(ts_) * ts_;
+  return std::span<double>(data_).subspan(
+      (static_cast<std::size_t>(j) * nt_ + i) * elems, elems);
+}
+
+std::span<const double> TiledMatrix::tile(int i, int j) const {
+  DEEP_EXPECT(i >= 0 && i < nt_ && j >= 0 && j < nt_, "tile: out of range");
+  const std::size_t elems = static_cast<std::size_t>(ts_) * ts_;
+  return std::span<const double>(data_).subspan(
+      (static_cast<std::size_t>(j) * nt_ + i) * elems, elems);
+}
+
+double& TiledMatrix::at(int row, int col) {
+  const int ti = row / ts_, tj = col / ts_;
+  auto t = tile(ti, tj);
+  return t[static_cast<std::size_t>(col % ts_) * ts_ + row % ts_];
+}
+
+double TiledMatrix::at(int row, int col) const {
+  const int ti = row / ts_, tj = col / ts_;
+  auto t = tile(ti, tj);
+  return t[static_cast<std::size_t>(col % ts_) * ts_ + row % ts_];
+}
+
+// ---------------------------------------------------------------------------
+// Tile kernels
+// ---------------------------------------------------------------------------
+
+void potrf_tile(std::span<double> a, int ts) {
+  for (int j = 0; j < ts; ++j) {
+    double d = a[static_cast<std::size_t>(j) * ts + j];
+    for (int k = 0; k < j; ++k) {
+      const double v = a[static_cast<std::size_t>(k) * ts + j];
+      d -= v * v;
+    }
+    DEEP_EXPECT(d > 0.0, "potrf: matrix not positive definite");
+    d = std::sqrt(d);
+    a[static_cast<std::size_t>(j) * ts + j] = d;
+    for (int i = j + 1; i < ts; ++i) {
+      double s = a[static_cast<std::size_t>(j) * ts + i];
+      for (int k = 0; k < j; ++k)
+        s -= a[static_cast<std::size_t>(k) * ts + i] *
+             a[static_cast<std::size_t>(k) * ts + j];
+      a[static_cast<std::size_t>(j) * ts + i] = s / d;
+    }
+    // Zero the upper triangle for cleanliness.
+    for (int i = 0; i < j; ++i) a[static_cast<std::size_t>(j) * ts + i] = 0.0;
+  }
+}
+
+void trsm_tile(std::span<const double> t, std::span<double> b, int ts) {
+  // Solve X * T^T = B for X, T lower triangular: column sweep.
+  for (int j = 0; j < ts; ++j) {
+    const double d = t[static_cast<std::size_t>(j) * ts + j];
+    for (int i = 0; i < ts; ++i) {
+      double s = b[static_cast<std::size_t>(j) * ts + i];
+      for (int k = 0; k < j; ++k)
+        s -= b[static_cast<std::size_t>(k) * ts + i] *
+             t[static_cast<std::size_t>(k) * ts + j];
+      b[static_cast<std::size_t>(j) * ts + i] = s / d;
+    }
+  }
+}
+
+void syrk_tile(std::span<const double> a, std::span<double> c, int ts) {
+  for (int j = 0; j < ts; ++j)
+    for (int i = j; i < ts; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < ts; ++k)
+        s += a[static_cast<std::size_t>(k) * ts + i] *
+             a[static_cast<std::size_t>(k) * ts + j];
+      c[static_cast<std::size_t>(j) * ts + i] -= s;
+    }
+}
+
+void gemm_tile(std::span<const double> a, std::span<const double> b,
+               std::span<double> c, int ts) {
+  for (int j = 0; j < ts; ++j)
+    for (int i = 0; i < ts; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < ts; ++k)
+        s += a[static_cast<std::size_t>(k) * ts + i] *
+             b[static_cast<std::size_t>(k) * ts + j];
+      c[static_cast<std::size_t>(j) * ts + i] -= s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Setup & verification
+// ---------------------------------------------------------------------------
+
+void fill_spd(TiledMatrix& a, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int n = a.n();
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  // Diagonal dominance guarantees positive definiteness.
+  for (int i = 0; i < n; ++i) a.at(i, i) += n;
+}
+
+void cholesky_reference(TiledMatrix& a) {
+  const int nt = a.num_tiles(), ts = a.tile_size();
+  for (int k = 0; k < nt; ++k) {
+    potrf_tile(a.tile(k, k), ts);
+    for (int i = k + 1; i < nt; ++i) trsm_tile(a.tile(k, k), a.tile(i, k), ts);
+    for (int i = k + 1; i < nt; ++i) {
+      for (int j = k + 1; j < i; ++j)
+        gemm_tile(a.tile(i, k), a.tile(j, k), a.tile(i, j), ts);
+      syrk_tile(a.tile(i, k), a.tile(i, i), ts);
+    }
+  }
+}
+
+double factor_error(const TiledMatrix& factor, const TiledMatrix& original) {
+  const int n = factor.n();
+  double max_err = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double s = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) s += factor.at(i, k) * factor.at(j, k);
+      max_err = std::max(max_err, std::abs(s - original.at(i, j)));
+    }
+  }
+  return max_err;
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph submission (the slide-23 program, pragmas --> regions)
+// ---------------------------------------------------------------------------
+
+void submit_cholesky_tasks(ompss::Runtime& runtime, TiledMatrix& a) {
+  const int nt = a.num_tiles(), ts = a.tile_size();
+  // Panel tasks sit on the critical path: raise their priority so workers
+  // prefer them over trailing updates (standard tiled-Cholesky scheduling).
+  constexpr int kPanelPriority = 2, kTrsmPriority = 1;
+  for (int k = 0; k < nt; ++k) {
+    runtime.submit("potrf", {ompss::inout(a.tile(k, k))},
+                   hw::kernels::potrf(ts),
+                   [&a, k, ts] { potrf_tile(a.tile(k, k), ts); },
+                   kPanelPriority);
+    for (int i = k + 1; i < nt; ++i) {
+      runtime.submit(
+          "trsm", {ompss::in(std::span<const double>(a.tile(k, k))),
+                   ompss::inout(a.tile(i, k))},
+          hw::kernels::trsm(ts),
+          [&a, k, i, ts] { trsm_tile(a.tile(k, k), a.tile(i, k), ts); },
+          kTrsmPriority);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      for (int j = k + 1; j < i; ++j) {
+        runtime.submit(
+            "gemm", {ompss::in(std::span<const double>(a.tile(i, k))),
+                     ompss::in(std::span<const double>(a.tile(j, k))),
+                     ompss::inout(a.tile(i, j))},
+            hw::kernels::gemm(ts), [&a, i, j, k, ts] {
+              gemm_tile(a.tile(i, k), a.tile(j, k), a.tile(i, j), ts);
+            });
+      }
+      runtime.submit(
+          "syrk", {ompss::in(std::span<const double>(a.tile(i, k))),
+                   ompss::inout(a.tile(i, i))},
+          hw::kernels::syrk(ts),
+          [&a, i, k, ts] { syrk_tile(a.tile(i, k), a.tile(i, i), ts); });
+    }
+  }
+}
+
+double cholesky_flops(int n) {
+  const double nn = n;
+  return nn * nn * nn / 3.0;
+}
+
+}  // namespace deep::apps

@@ -1,0 +1,84 @@
+#pragma once
+// Tiled Cholesky factorisation — the paper's own OmpSs example (slide 23).
+//
+// The matrix is stored as NT x NT column-major tiles of TS x TS doubles.
+// submit_cholesky_tasks() emits exactly the task graph of the slide:
+//
+//   for k:  potrf(A[k][k])
+//     for i>k:  trsm(A[k][k], A[k][i])
+//     for i>k:  for j<i: gemm(A[k][i], A[k][j], A[j][i]);  syrk(A[k][i], A[i][i])
+//
+// with in/inout regions on the tiles, so the runtime extracts the wavefront
+// parallelism from sequential-looking code.  The tile kernels do the real
+// arithmetic (results are verified against L*L^T = A), while their modelled
+// execution time comes from hw::kernels::{potrf,trsm,syrk,gemm}.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ompss/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace deep::apps {
+
+/// Lower-triangular tiled matrix holder (column-major within tiles).
+class TiledMatrix {
+ public:
+  TiledMatrix(int num_tiles, int tile_size);
+
+  int num_tiles() const { return nt_; }
+  int tile_size() const { return ts_; }
+  int n() const { return nt_ * ts_; }
+
+  /// Tile (i, j): block row i, block column j.
+  std::span<double> tile(int i, int j);
+  std::span<const double> tile(int i, int j) const;
+
+  /// Element access across tiles (row, col of the full matrix).
+  double& at(int row, int col);
+  double at(int row, int col) const;
+
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+ private:
+  int nt_;
+  int ts_;
+  std::vector<double> data_;
+};
+
+// -- real tile kernels (double precision, column-major ts x ts tiles) --------
+
+/// Unblocked Cholesky of a tile: A := L with A = L*L^T (lower). Throws
+/// util::SimError if the tile is not positive definite.
+void potrf_tile(std::span<double> a, int ts);
+/// B := B * L^-T  (right-solve with the transposed lower factor in T).
+void trsm_tile(std::span<const double> t, std::span<double> b, int ts);
+/// C := C - A * A^T (symmetric rank-ts update, lower part).
+void syrk_tile(std::span<const double> a, std::span<double> c, int ts);
+/// C := C - A * B^T.
+void gemm_tile(std::span<const double> a, std::span<const double> b,
+               std::span<double> c, int ts);
+
+// -- problem setup & verification --------------------------------------------
+
+/// Fills the matrix with a random symmetric positive-definite problem
+/// (diagonally dominant), reproducibly from `seed`.
+void fill_spd(TiledMatrix& a, std::uint64_t seed);
+
+/// Sequential reference factorisation (no tasks); same tile kernels.
+void cholesky_reference(TiledMatrix& a);
+
+/// Max |(L*L^T - A0)| over the lower triangle; a should be the factor of a0.
+double factor_error(const TiledMatrix& factor, const TiledMatrix& original);
+
+// -- OmpSs task-graph version -------------------------------------------------
+
+/// Submits the full tiled-Cholesky DAG onto `runtime`.  Caller taskwait()s.
+void submit_cholesky_tasks(ompss::Runtime& runtime, TiledMatrix& a);
+
+/// Total flops of the factorisation (n^3/3).
+double cholesky_flops(int n);
+
+}  // namespace deep::apps

@@ -1,0 +1,141 @@
+#include "apps/spmv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "hw/compute.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deep::apps {
+
+CsrBlock make_banded_matrix(int rank, int nranks, const SpmvConfig& config) {
+  DEEP_EXPECT(config.rows_per_rank >= 1 && config.band >= 1 &&
+                  config.nnz_per_row >= 2,
+              "make_banded_matrix: bad configuration");
+  DEEP_EXPECT(config.band < config.rows_per_rank,
+              "make_banded_matrix: band must be narrower than a rank's rows "
+              "(halo only reaches the adjacent ranks)");
+  const int n = config.rows_per_rank * nranks;
+  CsrBlock block;
+  block.first_row = rank * config.rows_per_rank;
+  block.rows = config.rows_per_rank;
+  block.row_ptr.push_back(0);
+  for (int local = 0; local < block.rows; ++local) {
+    const int row = block.first_row + local;
+    // Deterministic per-row off-diagonal pattern (identical no matter which
+    // rank generates it).
+    util::Rng rng(config.seed + static_cast<std::uint64_t>(row) * 2654435761u);
+    std::set<int> cols;
+    while (static_cast<int>(cols.size()) < config.nnz_per_row - 1) {
+      const int offset =
+          1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(config.band)));
+      const int c = rng.chance(0.5) ? row - offset : row + offset;
+      if (c >= 0 && c < n && c != row) cols.insert(c);
+      // Edge rows may not have enough valid columns in the band.
+      if (row < config.band || row >= n - config.band) {
+        if (static_cast<int>(cols.size()) >= config.nnz_per_row - 3) break;
+      }
+    }
+    double offdiag_sum = 0;
+    for (const int c : cols) {
+      const double v = -rng.uniform(0.1, 1.0);
+      block.col.push_back(c);
+      block.val.push_back(v);
+      offdiag_sum += std::abs(v);
+    }
+    // Diagonal dominance keeps the spectrum positive and well behaved.
+    block.col.push_back(row);
+    block.val.push_back(offdiag_sum + 2.0);
+    block.row_ptr.push_back(static_cast<int>(block.col.size()));
+  }
+  return block;
+}
+
+SpmvResult run_spmv_power(mpi::Mpi& mpi, const mpi::Comm& comm,
+                          const SpmvConfig& config) {
+  DEEP_EXPECT(config.iterations >= 1, "run_spmv_power: need iterations");
+  const int nranks = comm.size();
+  const int me = comm.rank();
+  const int m = config.rows_per_rank;
+  const CsrBlock a = make_banded_matrix(me, nranks, config);
+
+  // x segment with halos: [band left | m local | band right].
+  const int band = config.band;
+  std::vector<double> x(static_cast<std::size_t>(m + 2 * band), 0.0);
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) x[static_cast<std::size_t>(band + i)] = 1.0;
+
+  const auto xg = [&](int global_col) -> double {
+    const int idx = global_col - a.first_row + band;
+    DEEP_ASSERT(idx >= 0 && idx < m + 2 * band, "spmv: column outside halo");
+    return x[static_cast<std::size_t>(idx)];
+  };
+
+  SpmvResult result;
+  constexpr mpi::Tag kLeftTag = 91, kRightTag = 92;
+  double eigen = 0;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // Halo exchange with the neighbouring ranks (regular pattern).
+    std::vector<mpi::RequestPtr> reqs;
+    const std::span<double> xs(x);
+    if (me > 0) {
+      reqs.push_back(mpi.irecv<double>(comm, me - 1, kRightTag,
+                                       xs.subspan(0, static_cast<std::size_t>(band))));
+      reqs.push_back(mpi.isend<double>(
+          comm, me - 1, kLeftTag,
+          std::span<const double>(xs.subspan(static_cast<std::size_t>(band),
+                                             static_cast<std::size_t>(band)))));
+      result.halo_bytes += 2 * band * 8;
+    }
+    if (me + 1 < nranks) {
+      reqs.push_back(mpi.irecv<double>(
+          comm, me + 1, kLeftTag,
+          xs.subspan(static_cast<std::size_t>(band + m), static_cast<std::size_t>(band))));
+      reqs.push_back(mpi.isend<double>(
+          comm, me + 1, kRightTag,
+          std::span<const double>(xs.subspan(static_cast<std::size_t>(m),
+                                             static_cast<std::size_t>(band)))));
+      result.halo_bytes += 2 * band * 8;
+    }
+    mpi.wait_all(reqs);
+
+    // y = A x (real CSR multiply over the banded block).
+    for (int i = 0; i < m; ++i) {
+      double s = 0;
+      for (int k = a.row_ptr[static_cast<std::size_t>(i)];
+           k < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++k)
+        s += a.val[static_cast<std::size_t>(k)] * xg(a.col[static_cast<std::size_t>(k)]);
+      y[static_cast<std::size_t>(i)] = s;
+    }
+    // Rayleigh quotient + normalisation (global reductions).
+    double local[2] = {0, 0};  // x.y, y.y
+    for (int i = 0; i < m; ++i) {
+      local[0] += x[static_cast<std::size_t>(band + i)] * y[static_cast<std::size_t>(i)];
+      local[1] += y[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+    }
+    double global[2];
+    mpi.allreduce<double>(comm, mpi::Op::Sum, std::span<const double>(local, 2),
+                          std::span<double>(global, 2));
+    eigen = global[0];  // x normalised: x.Ax is the Rayleigh quotient
+    const double inv_norm = 1.0 / std::sqrt(global[1]);
+    for (int i = 0; i < m; ++i)
+      x[static_cast<std::size_t>(band + i)] = y[static_cast<std::size_t>(i)] * inv_norm;
+
+    // Modelled cost of the local multiply (memory-bound).
+    mpi.compute(hw::kernels::spmv(a.row_ptr.back()), mpi.node().spec().cores);
+  }
+
+  double local_sum = 0;
+  for (int i = 0; i < m; ++i) local_sum += x[static_cast<std::size_t>(band + i)];
+  double global_sum[1];
+  const double in_sum[1] = {local_sum};
+  mpi.allreduce<double>(comm, mpi::Op::Sum, std::span<const double>(in_sum, 1),
+                        std::span<double>(global_sum, 1));
+  result.eigenvalue = eigen;
+  result.checksum = global_sum[0];
+  return result;
+}
+
+}  // namespace deep::apps

@@ -1,0 +1,130 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/compute.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deep::apps {
+
+StencilResult run_jacobi(mpi::Mpi& mpi, const mpi::Comm& comm,
+                         const StencilConfig& config) {
+  DEEP_EXPECT(config.nx >= 3 && config.rows >= 1 && config.iterations >= 1,
+              "run_jacobi: bad configuration");
+  const int nx = config.nx;
+  const int rows = config.rows;
+  const int size = comm.size();
+  const int me = comm.rank();
+  const int up = me - 1;    // owns the rows above us (-1: global top edge)
+  const int down = me + 1;  // below (size: global bottom edge)
+
+  // Grid with halo rows 0 and rows+1; row-major.
+  const auto idx = [nx](int r, int c) {
+    return static_cast<std::size_t>(r) * nx + c;
+  };
+  std::vector<double> grid(static_cast<std::size_t>(rows + 2) * nx, 0.0);
+  std::vector<double> next(grid.size(), 0.0);
+  if (me == 0)
+    for (int c = 0; c < nx; ++c) grid[idx(0, c)] = config.top_value;
+
+  std::int64_t halo_messages = 0;
+  double last_update = 0.0;
+  constexpr mpi::Tag kUpTag = 71, kDownTag = 72;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // Halo exchange: send my top interior row up, bottom interior row down.
+    std::vector<mpi::RequestPtr> reqs;
+    const std::span<double> top_halo(&grid[idx(0, 0)], static_cast<std::size_t>(nx));
+    const std::span<double> bot_halo(&grid[idx(rows + 1, 0)],
+                                     static_cast<std::size_t>(nx));
+    const std::span<const double> top_row(&grid[idx(1, 0)],
+                                          static_cast<std::size_t>(nx));
+    const std::span<const double> bot_row(&grid[idx(rows, 0)],
+                                          static_cast<std::size_t>(nx));
+    if (up >= 0) {
+      reqs.push_back(mpi.irecv<double>(comm, up, kDownTag, top_halo));
+      reqs.push_back(mpi.isend<double>(comm, up, kUpTag, top_row));
+      halo_messages += 2;
+    }
+    if (down < size) {
+      reqs.push_back(mpi.irecv<double>(comm, down, kUpTag, bot_halo));
+      reqs.push_back(mpi.isend<double>(comm, down, kDownTag, bot_row));
+      halo_messages += 2;
+    }
+    mpi.wait_all(reqs);
+
+    // Real 5-point sweep on the interior; fixed left/right edges.
+    last_update = 0.0;
+    for (int r = 1; r <= rows; ++r) {
+      for (int c = 1; c < nx - 1; ++c) {
+        const double v = 0.25 * (grid[idx(r - 1, c)] + grid[idx(r + 1, c)] +
+                                 grid[idx(r, c - 1)] + grid[idx(r, c + 1)]);
+        last_update = std::max(last_update, std::abs(v - grid[idx(r, c)]));
+        next[idx(r, c)] = v;
+      }
+      next[idx(r, 0)] = grid[idx(r, 0)];
+      next[idx(r, nx - 1)] = grid[idx(r, nx - 1)];
+    }
+    // Preserve halos/boundaries, then swap.
+    std::copy_n(&grid[idx(0, 0)], nx, &next[idx(0, 0)]);
+    std::copy_n(&grid[idx(rows + 1, 0)], nx, &next[idx(rows + 1, 0)]);
+    grid.swap(next);
+
+    // Burn the modelled sweep time on this rank's cores.
+    mpi.compute(hw::kernels::jacobi2d(nx, rows), mpi.node().spec().cores);
+  }
+
+  // Global reductions: residual (max) and checksum (sum).
+  double local_sum = 0.0;
+  for (int r = 1; r <= rows; ++r)
+    for (int c = 0; c < nx; ++c) local_sum += grid[idx(r, c)];
+
+  StencilResult result;
+  const double in_max[1] = {last_update};
+  double out_max[1];
+  mpi.allreduce<double>(comm, mpi::Op::Max, in_max, out_max);
+  const double in_sum[1] = {local_sum};
+  double out_sum[1];
+  mpi.allreduce<double>(comm, mpi::Op::Sum, in_sum, out_sum);
+  result.residual = out_max[0];
+  result.checksum = out_sum[0];
+  result.halo_messages = halo_messages;
+  return result;
+}
+
+void run_irregular_exchange(mpi::Mpi& mpi, const mpi::Comm& comm,
+                            const IrregularConfig& config) {
+  DEEP_EXPECT(config.rounds >= 1 && config.bytes >= 1,
+              "run_irregular_exchange: bad configuration");
+  const int n = comm.size();
+  const int me = comm.rank();
+  std::vector<std::byte> sbuf(static_cast<std::size_t>(config.bytes));
+  std::vector<std::byte> rbuf(static_cast<std::size_t>(config.bytes));
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int round = 0; round < config.rounds; ++round) {
+    // All ranks derive the same random pairing for this round.
+    util::Rng rng(config.seed + static_cast<std::uint64_t>(round) * 7919);
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i)
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[rng.below(static_cast<std::uint64_t>(i + 1))]);
+    // perm defines a pairing: partner of perm[2k] is perm[2k+1].
+    int partner = me;
+    for (int k = 0; k + 1 < n; k += 2) {
+      if (perm[static_cast<std::size_t>(k)] == me)
+        partner = perm[static_cast<std::size_t>(k + 1)];
+      if (perm[static_cast<std::size_t>(k + 1)] == me)
+        partner = perm[static_cast<std::size_t>(k)];
+    }
+    if (partner != me) {
+      mpi.sendrecv_bytes(comm, partner, 80 + round, sbuf, partner, 80 + round,
+                         rbuf);
+    }
+    mpi.compute({config.flops_per_round, 0.0, 0.0}, 1);
+  }
+}
+
+}  // namespace deep::apps

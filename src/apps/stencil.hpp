@@ -1,0 +1,50 @@
+#pragma once
+// Distributed 2-D Jacobi stencil — the archetypal "highly scalable code
+// part" (HSCP) of the paper (slide 9): regular nearest-neighbour
+// communication, perfectly suited to the booster's torus.
+//
+// 1-D row decomposition over the ranks of a communicator: every rank owns
+// `rows` interior rows of a global (rows * size) x nx grid plus two halo
+// rows.  Each iteration exchanges halos with the up/down neighbours, does a
+// real 5-point sweep (the arithmetic is genuine; results are verified in
+// tests), and burns the modelled roofline time for the sweep.
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace deep::apps {
+
+struct StencilConfig {
+  int nx = 256;          // columns (global and local)
+  int rows = 64;         // interior rows per rank
+  int iterations = 20;
+  double top_value = 1.0;  // Dirichlet condition on the global top edge
+};
+
+struct StencilResult {
+  double residual = 0.0;      // max |update| of the final iteration (global)
+  double checksum = 0.0;      // sum of all interior cells (global)
+  std::int64_t halo_messages = 0;  // messages this rank exchanged
+};
+
+/// Runs the stencil on `comm`; every rank of the communicator must call it
+/// with identical configuration.  Returns the globally-reduced result.
+StencilResult run_jacobi(mpi::Mpi& mpi, const mpi::Comm& comm,
+                         const StencilConfig& config);
+
+/// Irregular counterpart for the scalability study (slide 9: "most
+/// applications are more complex — complicated communication patterns").
+/// Every round, ranks exchange `bytes` with a pseudo-random permutation
+/// partner (deterministically derived from round+seed, so all ranks agree).
+struct IrregularConfig {
+  std::int64_t bytes = 64 * 1024;
+  int rounds = 20;
+  std::uint64_t seed = 1234;
+  double flops_per_round = 1e8;  // local work between exchanges
+};
+
+void run_irregular_exchange(mpi::Mpi& mpi, const mpi::Comm& comm,
+                            const IrregularConfig& config);
+
+}  // namespace deep::apps

@@ -1,0 +1,194 @@
+#include "cbp/gateway.hpp"
+
+namespace deep::cbp {
+
+BridgedTransport::BridgedTransport(sim::Engine& engine,
+                                   net::Fabric& cluster_fabric,
+                                   net::Fabric& booster_fabric,
+                                   BridgeParams params)
+    : engine_(&engine),
+      cluster_(&cluster_fabric),
+      booster_(&booster_fabric),
+      params_(params) {
+  DEEP_EXPECT(params_.smfu_bandwidth_bytes_per_sec > 0,
+              "BridgedTransport: SMFU bandwidth must be positive");
+  DEEP_EXPECT(params_.frame_header_bytes >= 0,
+              "BridgedTransport: negative frame header");
+}
+
+void BridgedTransport::register_cluster_node(hw::NodeId node) {
+  DEEP_EXPECT(cluster_->attached(node),
+              "register_cluster_node: not attached to cluster fabric");
+  DEEP_EXPECT(sides_.try_emplace(node, Side::Cluster).second,
+              "register_cluster_node: node already registered");
+}
+
+void BridgedTransport::register_booster_node(hw::NodeId node) {
+  DEEP_EXPECT(booster_->attached(node),
+              "register_booster_node: not attached to booster fabric");
+  DEEP_EXPECT(sides_.try_emplace(node, Side::Booster).second,
+              "register_booster_node: node already registered");
+}
+
+void BridgedTransport::register_gateway(hw::NodeId node) {
+  DEEP_EXPECT(cluster_->attached(node) && booster_->attached(node),
+              "register_gateway: gateway must sit on both fabrics");
+  DEEP_EXPECT(sides_.try_emplace(node, Side::Gateway).second,
+              "register_gateway: node already registered");
+  gateways_.push_back(GatewayState{node, {}, {}});
+  GatewayState& gw = gateways_.back();
+  auto handler = [this, &gw](net::Message&& wrapped) {
+    forward(gw, std::move(wrapped));
+  };
+  cluster_->nic(node).bind(net::Port::Cbp, handler);
+  booster_->nic(node).bind(net::Port::Cbp, handler);
+}
+
+BridgedTransport::Side BridgedTransport::side_of(hw::NodeId node) const {
+  auto it = sides_.find(node);
+  DEEP_EXPECT(it != sides_.end(), "BridgedTransport: node not registered");
+  return it->second;
+}
+
+bool BridgedTransport::on_cluster_side(hw::NodeId node) const {
+  const Side s = side_of(node);
+  return s == Side::Cluster || s == Side::Gateway;
+}
+
+bool BridgedTransport::on_booster_side(hw::NodeId node) const {
+  const Side s = side_of(node);
+  return s == Side::Booster || s == Side::Gateway;
+}
+
+net::Nic& BridgedTransport::home_nic(hw::NodeId node) {
+  switch (side_of(node)) {
+    case Side::Cluster:
+    case Side::Gateway:  // gateways' protocol endpoints live cluster-side
+      return cluster_->nic(node);
+    case Side::Booster:
+      return booster_->nic(node);
+  }
+  throw util::SimError("unreachable");
+}
+
+const GatewayStats& BridgedTransport::gateway_stats(hw::NodeId gateway) const {
+  for (const auto& gw : gateways_)
+    if (gw.node == gateway) return gw.stats;
+  throw util::UsageError("gateway_stats: no such gateway");
+}
+
+void BridgedTransport::set_gateway_up(hw::NodeId gateway, bool up) {
+  for (auto& gw : gateways_) {
+    if (gw.node == gateway) {
+      gw.up = up;
+      return;
+    }
+  }
+  throw util::UsageError("set_gateway_up: no such gateway");
+}
+
+bool BridgedTransport::gateway_up(hw::NodeId gateway) const {
+  for (const auto& gw : gateways_)
+    if (gw.node == gateway) return gw.up;
+  throw util::UsageError("gateway_up: no such gateway");
+}
+
+std::size_t BridgedTransport::num_gateways_up() const {
+  std::size_t n = 0;
+  for (const auto& gw : gateways_) n += gw.up ? 1 : 0;
+  return n;
+}
+
+BridgedTransport::GatewayState& BridgedTransport::pick_gateway(
+    hw::NodeId src, hw::NodeId dst) {
+  DEEP_EXPECT(!gateways_.empty(),
+              "BridgedTransport: cross-fabric send with no gateways");
+  DEEP_EXPECT(num_gateways_up() > 0,
+              "BridgedTransport: all gateways down — booster unreachable");
+  switch (params_.policy) {
+    case GatewayPolicy::ByPair: {
+      const auto h = static_cast<std::size_t>(src) * 1000003u +
+                     static_cast<std::size_t>(dst);
+      // Linear probe from the hash slot to the next healthy gateway, so a
+      // failure deterministically re-pins each pair.
+      for (std::size_t i = 0; i < gateways_.size(); ++i) {
+        GatewayState& gw = gateways_[(h + i) % gateways_.size()];
+        if (gw.up) return gw;
+      }
+      break;
+    }
+    case GatewayPolicy::RoundRobin: {
+      for (std::size_t i = 0; i < gateways_.size(); ++i) {
+        GatewayState& gw = gateways_[rr_next_];
+        rr_next_ = (rr_next_ + 1) % gateways_.size();
+        if (gw.up) return gw;
+      }
+      break;
+    }
+  }
+  throw util::SimError("unreachable");
+}
+
+void BridgedTransport::send(net::Message msg, net::Service svc) {
+  const Side src_side = side_of(msg.src);
+  const Side dst_side = side_of(msg.dst);
+
+  // Same side (gateways are reachable from both): direct fabric delivery.
+  const bool src_cluster = src_side != Side::Booster;
+  const bool dst_cluster = dst_side != Side::Booster;
+  if (src_side == Side::Gateway || dst_side == Side::Gateway ||
+      src_side == dst_side) {
+    // Pick the fabric both endpoints share; prefer the cluster fabric for
+    // gateway-involved traffic on the cluster side.
+    const bool use_cluster = src_cluster && dst_cluster;
+    net::Fabric& fabric = fabric_for_side(use_cluster);
+    DEEP_EXPECT(fabric.attached(msg.src) && fabric.attached(msg.dst),
+                "BridgedTransport: endpoints not on a common fabric");
+    fabric.send(std::move(msg), svc);
+    return;
+  }
+
+  // Cross-fabric: wrap and route through a gateway on the source side.
+  GatewayState& gw = pick_gateway(msg.src, msg.dst);
+  net::Message wrapped;
+  wrapped.src = msg.src;
+  wrapped.dst = gw.node;
+  wrapped.port = net::Port::Cbp;
+  wrapped.size_bytes = msg.size_bytes + params_.frame_header_bytes;
+  wrapped.header = CbpFrame{std::move(msg), svc};
+  fabric_for_side(src_side == Side::Cluster).send(std::move(wrapped), svc);
+}
+
+void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
+  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  DEEP_EXPECT(frame != nullptr, "CBP: malformed frame at gateway");
+  net::Message inner = std::move(frame->inner);
+  const net::Service svc = frame->svc;
+
+  // SMFU processing: store-and-forward latency + per-byte cost, serialised
+  // per gateway.
+  const sim::Duration processing =
+      params_.smfu_latency +
+      sim::from_seconds(static_cast<double>(wrapped.size_bytes) /
+                        params_.smfu_bandwidth_bytes_per_sec);
+  const sim::TimePoint start = std::max(engine_->now(), gw.smfu_free);
+  const sim::TimePoint done = start + processing;
+  gw.smfu_free = done;
+
+  gw.stats.forwarded_messages += 1;
+  gw.stats.forwarded_bytes += wrapped.size_bytes;
+
+  const bool dst_on_cluster = side_of(inner.dst) != Side::Booster;
+  net::Fabric& out = fabric_for_side(dst_on_cluster);
+  // Re-injected with the gateway as the wire-level source so the fabric
+  // books contention on the gateway's links; the logical (MPI) source lives
+  // in the protocol header.
+  const hw::NodeId gw_node = gw.node;
+  engine_->schedule_at(done, [&out, gw_node, inner = std::move(inner),
+                              svc]() mutable {
+    inner.src = gw_node;
+    out.send(std::move(inner), svc);
+  });
+}
+
+}  // namespace deep::cbp

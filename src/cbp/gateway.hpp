@@ -1,0 +1,113 @@
+#pragma once
+// Cluster-Booster Protocol (CBP) bridging.
+//
+// The DEEP machine joins two independent fabrics (slide 29): the cluster's
+// InfiniBand and the booster's EXTOLL torus.  Booster Interface (BI) nodes
+// sit on both and forward traffic between them; the EXTOLL SMFU engine is
+// what makes this bridging possible on real hardware (slide 16).
+//
+// A cross-fabric message is wrapped in a CbpFrame, carried to a gateway on
+// the source-side fabric, processed by the gateway's SMFU (store-and-forward
+// latency + per-byte cost, serialised per gateway), and re-injected on the
+// far fabric towards its final destination.
+
+#include <cstdint>
+#include <deque>
+
+#include "cbp/transport.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace deep::cbp {
+
+/// How a sender picks the gateway for a cross-fabric message.
+enum class GatewayPolicy {
+  ByPair,      // static: hash of (src,dst) — preserves per-pair ordering
+  RoundRobin,  // spreads load; per-pair ordering NOT guaranteed by the wire
+               // (the MPI endpoint reorders via sequence numbers)
+};
+
+struct BridgeParams {
+  sim::Duration smfu_latency = sim::from_nanos(600);  // frame processing
+  double smfu_bandwidth_bytes_per_sec = 4.5e9;        // bridging throughput
+  std::int64_t frame_header_bytes = 32;
+  GatewayPolicy policy = GatewayPolicy::ByPair;
+};
+
+/// Per-gateway forwarding statistics.
+struct GatewayStats {
+  std::int64_t forwarded_messages = 0;
+  std::int64_t forwarded_bytes = 0;
+};
+
+/// The DEEP global interconnect: cluster fabric + booster fabric + BI
+/// gateways.  Nodes must be registered on exactly one side; gateways are
+/// attached to both fabrics by the caller before registration here.
+class BridgedTransport final : public Transport {
+ public:
+  BridgedTransport(sim::Engine& engine, net::Fabric& cluster_fabric,
+                   net::Fabric& booster_fabric, BridgeParams params = {});
+
+  /// Declares `node` a cluster node (must already be attached to the
+  /// cluster fabric).
+  void register_cluster_node(hw::NodeId node);
+  /// Declares `node` a booster node (must already be attached to the
+  /// booster fabric).
+  void register_booster_node(hw::NodeId node);
+  /// Declares `node` a gateway (must be attached to BOTH fabrics); binds the
+  /// CBP port handlers on both NICs.
+  void register_gateway(hw::NodeId node);
+
+  void send(net::Message msg, net::Service svc) override;
+  net::Nic& home_nic(hw::NodeId node) override;
+
+  std::size_t num_gateways() const { return gateways_.size(); }
+  const GatewayStats& gateway_stats(hw::NodeId gateway) const;
+  const BridgeParams& params() const { return params_; }
+
+  /// RAS: marks a gateway as failed (or repaired).  Subsequent cross-fabric
+  /// traffic fails over to the remaining gateways; in-flight frames already
+  /// addressed to the failed gateway are still forwarded (link-level state
+  /// survives in the real SMFU until the board is pulled).
+  void set_gateway_up(hw::NodeId gateway, bool up);
+  bool gateway_up(hw::NodeId gateway) const;
+  std::size_t num_gateways_up() const;
+
+  /// True if `node` lives on the cluster side (gateways count as both).
+  bool on_cluster_side(hw::NodeId node) const;
+  bool on_booster_side(hw::NodeId node) const;
+
+ private:
+  enum class Side : std::uint8_t { Cluster, Booster, Gateway };
+
+  struct GatewayState {
+    hw::NodeId node;
+    sim::TimePoint smfu_free{};
+    GatewayStats stats;
+    bool up = true;
+  };
+
+  struct CbpFrame {
+    net::Message inner;
+    net::Service svc;
+  };
+
+  Side side_of(hw::NodeId node) const;
+  GatewayState& pick_gateway(hw::NodeId src, hw::NodeId dst);
+  void forward(GatewayState& gw, net::Message&& wrapped);
+  net::Fabric& fabric_for_side(bool cluster_side) {
+    return cluster_side ? *cluster_ : *booster_;
+  }
+
+  sim::Engine* engine_;
+  net::Fabric* cluster_;
+  net::Fabric* booster_;
+  BridgeParams params_;
+  std::unordered_map<hw::NodeId, Side> sides_;
+  // deque: register_gateway hands out stable references to elements.
+  std::deque<GatewayState> gateways_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace deep::cbp

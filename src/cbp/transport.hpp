@@ -1,0 +1,43 @@
+#pragma once
+// Transport: the node-to-node sending interface the Global-MPI layer uses.
+//
+// A Transport hides which fabric (or sequence of fabrics) carries a message.
+// DirectTransport wraps a single fabric; cbp::BridgedTransport implements
+// the DEEP global interconnect (InfiniBand + EXTOLL joined by Booster-
+// Interface gateways speaking the Cluster-Booster Protocol).
+
+#include "net/fabric.hpp"
+#include "net/message.hpp"
+
+namespace deep::cbp {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `msg` towards msg.dst; delivery happens on the destination
+  /// node's home NIC at the modelled time.
+  virtual void send(net::Message msg, net::Service svc) = 0;
+
+  /// The NIC on which messages for `node` are delivered (for binding
+  /// protocol handlers).
+  virtual net::Nic& home_nic(hw::NodeId node) = 0;
+};
+
+/// Transport over one fabric; used by single-sided systems (cluster-only,
+/// booster-only) and unit tests.
+class DirectTransport final : public Transport {
+ public:
+  explicit DirectTransport(net::Fabric& fabric) : fabric_(&fabric) {}
+
+  void send(net::Message msg, net::Service svc) override {
+    fabric_->send(std::move(msg), svc);
+  }
+
+  net::Nic& home_nic(hw::NodeId node) override { return fabric_->nic(node); }
+
+ private:
+  net::Fabric* fabric_;
+};
+
+}  // namespace deep::cbp

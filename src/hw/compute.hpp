@@ -1,0 +1,91 @@
+#pragma once
+// Analytic roofline compute-time model.
+//
+// A kernel is described by its flop count, the bytes it moves through the
+// memory system, and a serial fraction.  Execution time on k cores is the
+// roofline maximum of the (Amdahl-scaled) compute time and the memory time;
+// the memory bus is shared by all cores of a node.
+
+#include "hw/spec.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace deep::hw {
+
+/// Work description of one kernel invocation.
+struct KernelCost {
+  double flops = 0.0;           // double-precision floating point operations
+  double mem_bytes = 0.0;       // bytes moved to/from memory
+  double serial_fraction = 0.0; // Amdahl: fraction not parallelisable
+
+  KernelCost scaled(double factor) const {
+    return {flops * factor, mem_bytes * factor, serial_fraction};
+  }
+};
+
+/// Wall-clock seconds the kernel takes on `cores` cores of `spec`.
+inline double compute_seconds(const NodeSpec& spec, const KernelCost& cost,
+                              int cores) {
+  DEEP_EXPECT(cores >= 1 && cores <= spec.cores,
+              "compute_seconds: core count out of range for node");
+  DEEP_EXPECT(cost.flops >= 0 && cost.mem_bytes >= 0,
+              "compute_seconds: negative work");
+  DEEP_EXPECT(cost.serial_fraction >= 0.0 && cost.serial_fraction <= 1.0,
+              "compute_seconds: serial fraction outside [0,1]");
+  const double per_core = spec.clock_ghz * 1e9 * spec.flops_per_cycle_per_core;
+  const double serial = cost.flops * cost.serial_fraction / per_core;
+  const double parallel =
+      cost.flops * (1.0 - cost.serial_fraction) / (per_core * cores);
+  const double t_flops = serial + parallel;
+  const double t_mem = cost.mem_bytes / spec.mem_bw_bytes_per_sec;
+  return t_flops > t_mem ? t_flops : t_mem;
+}
+
+/// Same, as a virtual-time duration (rounded up; never zero for real work).
+inline sim::Duration compute_time(const NodeSpec& spec, const KernelCost& cost,
+                                  int cores) {
+  return sim::from_seconds(compute_seconds(spec, cost, cores));
+}
+
+/// Cost helpers for the kernels used throughout the examples and benches.
+namespace kernels {
+
+/// Dense matrix-matrix multiply C += A*B with n^3 complexity.
+inline KernelCost dgemm(int n) {
+  const double flops = 2.0 * n * n * n;
+  const double bytes = 3.0 * 8.0 * n * n;  // streaming approximation
+  return {flops, bytes, 0.0};
+}
+
+/// One 5-point Jacobi sweep over an nx-by-ny tile.
+inline KernelCost jacobi2d(int nx, int ny) {
+  const double cells = static_cast<double>(nx) * ny;
+  return {5.0 * cells, 2.0 * 8.0 * cells, 0.0};
+}
+
+/// Sparse matrix-vector multiply with nnz non-zeros.
+inline KernelCost spmv(std::int64_t nnz) {
+  const double n = static_cast<double>(nnz);
+  return {2.0 * n, 12.0 * n, 0.0};  // 8B value + 4B index per nnz
+}
+
+/// Tile kernels of the blocked Cholesky factorisation (tile size ts).
+inline KernelCost potrf(int ts) {
+  const double t = ts;
+  return {t * t * t / 3.0, 8.0 * t * t, 0.05};
+}
+inline KernelCost trsm(int ts) {
+  const double t = ts;
+  return {t * t * t, 2.0 * 8.0 * t * t, 0.0};
+}
+inline KernelCost syrk(int ts) {
+  const double t = ts;
+  return {t * t * t, 2.0 * 8.0 * t * t, 0.0};
+}
+inline KernelCost gemm(int ts) {
+  const double t = ts;
+  return {2.0 * t * t * t, 3.0 * 8.0 * t * t, 0.0};
+}
+
+}  // namespace kernels
+}  // namespace deep::hw

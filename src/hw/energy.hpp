@@ -1,0 +1,60 @@
+#pragma once
+// Per-node energy accounting.
+//
+// Every node draws idle_watts for the whole simulated interval plus
+// (peak-idle) proportional to the per-core busy time it accumulated.  Nodes
+// that are powered off contribute nothing (used to compare system variants
+// that own different node counts).
+
+#include "hw/spec.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace deep::hw {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const NodeSpec& spec) : spec_(&spec) {}
+
+  /// Records that `cores` cores were busy for `d` of virtual time.
+  void add_busy(sim::Duration d, int cores) {
+    DEEP_EXPECT(d.ps >= 0, "EnergyMeter::add_busy: negative duration");
+    DEEP_EXPECT(cores >= 1 && cores <= spec_->cores,
+                "EnergyMeter::add_busy: core count out of range");
+    busy_core_seconds_ += d.seconds() * cores;
+  }
+
+  /// Records useful flops (for GFlop/W reporting).
+  void add_flops(double flops) { flops_done_ += flops; }
+
+  double busy_core_seconds() const { return busy_core_seconds_; }
+  double flops_done() const { return flops_done_; }
+
+  /// Total joules drawn over a simulated interval of length `total`.
+  double joules(sim::Duration total) const {
+    DEEP_EXPECT(total.ps >= 0, "EnergyMeter::joules: negative interval");
+    const double t = total.seconds();
+    const double active_fraction_integral =
+        busy_core_seconds_ / static_cast<double>(spec_->cores);
+    return spec_->idle_watts * t +
+           (spec_->peak_watts - spec_->idle_watts) * active_fraction_integral;
+  }
+
+  /// Achieved GFlop/s per watt over the interval.
+  double gflops_per_watt(sim::Duration total) const {
+    const double j = joules(total);
+    return j > 0 ? flops_done_ / j * 1e-9 : 0.0;
+  }
+
+  void reset() {
+    busy_core_seconds_ = 0.0;
+    flops_done_ = 0.0;
+  }
+
+ private:
+  const NodeSpec* spec_;
+  double busy_core_seconds_ = 0.0;
+  double flops_done_ = 0.0;
+};
+
+}  // namespace deep::hw

@@ -1,0 +1,95 @@
+#pragma once
+// PCIe-attached accelerator model: the "accelerated cluster" baseline.
+//
+// This is the architecture the paper argues against (slides 6-7): every
+// accelerator hangs off one host CPU, all traffic is staged through host
+// memory across PCIe, and the accelerator cannot act autonomously.  The
+// GpuDevice therefore only exposes a host-driven launch: H2D transfer,
+// kernel, D2H transfer, all serialised on the device.
+
+#include <string>
+
+#include "hw/compute.hpp"
+#include "hw/energy.hpp"
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace deep::hw {
+
+/// Point-to-point PCIe model, calibrated to gen2 x16 as on 2013 GPU/KNC
+/// cards.  Two access paths:
+///   * transfer_time(): driver-initiated DMA (what GPU offload uses) — a
+///     setup latency per transfer plus the bandwidth term;
+///   * pio_time(): raw load/store latency across the link (what makes PCIe
+///     "fast besides latency" compared to InfiniBand on slide 8).
+struct PcieModel {
+  sim::Duration dma_setup = sim::from_micros(8.0);   // driver + DMA start
+  sim::Duration link_latency = sim::from_nanos(500); // wire + root complex
+  double bandwidth_bytes_per_sec = 6.0e9;            // effective, gen2 x16
+
+  sim::Duration transfer_time(std::int64_t bytes) const {
+    DEEP_EXPECT(bytes >= 0, "PcieModel: negative transfer size");
+    if (bytes == 0) return {};
+    return dma_setup +
+           sim::from_seconds(static_cast<double>(bytes) / bandwidth_bytes_per_sec);
+  }
+
+  sim::Duration pio_time(std::int64_t bytes) const {
+    DEEP_EXPECT(bytes >= 0, "PcieModel: negative transfer size");
+    return link_latency +
+           sim::from_seconds(static_cast<double>(bytes) / bandwidth_bytes_per_sec);
+  }
+};
+
+/// One GPU statically assigned to a host process.  Launches serialise on the
+/// device (device_free_ tracks the tail of the last operation).
+class GpuDevice {
+ public:
+  GpuDevice(std::string name, NodeSpec spec, PcieModel pcie = {})
+      : name_(std::move(name)), spec_(std::move(spec)), pcie_(pcie), meter_(spec_) {
+    DEEP_EXPECT(spec_.kind == NodeKind::Device, "GpuDevice: spec must be Device");
+  }
+
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  const std::string& name() const { return name_; }
+  const NodeSpec& spec() const { return spec_; }
+  const PcieModel& pcie() const { return pcie_; }
+  EnergyMeter& meter() { return meter_; }
+  const EnergyMeter& meter() const { return meter_; }
+
+  /// Host-driven synchronous offload: copy `bytes_in` to the device, run
+  /// `cost`, copy `bytes_out` back.  Blocks the calling (host) process for
+  /// the full round trip and returns the time spent.
+  sim::Duration launch(sim::Context& ctx, const KernelCost& cost,
+                       std::int64_t bytes_in, std::int64_t bytes_out) {
+    const sim::TimePoint start = ctx.now();
+    const sim::Duration h2d = pcie_.transfer_time(bytes_in);
+    const sim::Duration kernel = compute_time(spec_, cost, spec_.cores);
+    const sim::Duration d2h = pcie_.transfer_time(bytes_out);
+
+    // Reserve the device up front so concurrent callers queue behind us.
+    const sim::TimePoint begin = std::max(start, device_free_);
+    device_free_ = begin + h2d + kernel + d2h;
+    meter_.add_busy(kernel, spec_.cores);
+    meter_.add_flops(cost.flops);
+    ++launches_;
+
+    ctx.delay(device_free_ - start);
+    return ctx.now() - start;
+  }
+
+  std::int64_t launches() const { return launches_; }
+
+ private:
+  std::string name_;
+  NodeSpec spec_;
+  PcieModel pcie_;
+  EnergyMeter meter_;
+  sim::TimePoint device_free_{};
+  std::int64_t launches_ = 0;
+};
+
+}  // namespace deep::hw

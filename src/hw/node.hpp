@@ -1,0 +1,60 @@
+#pragma once
+// A simulated node: identity + silicon spec + energy meter.
+//
+// Node objects are owned by the system builder (deep::sys) and referenced
+// everywhere else.  compute() is the one call-site through which simulated
+// code burns time: it advances the calling process's virtual time by the
+// roofline model and books the energy.
+
+#include <string>
+
+#include "hw/compute.hpp"
+#include "hw/energy.hpp"
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace deep::hw {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, NodeSpec spec)
+      : id_(id), name_(std::move(name)), spec_(std::move(spec)), meter_(spec_) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const NodeSpec& spec() const { return spec_; }
+  NodeKind kind() const { return spec_.kind; }
+  EnergyMeter& meter() { return meter_; }
+  const EnergyMeter& meter() const { return meter_; }
+
+  /// Executes `cost` on `cores` cores of this node: blocks the calling
+  /// process for the modelled time and accounts busy-time + flops.
+  void compute(sim::Context& ctx, const KernelCost& cost, int cores) {
+    const sim::Duration d = compute_time(spec_, cost, cores);
+    meter_.add_busy(d, cores);
+    meter_.add_flops(cost.flops);
+    const sim::TimePoint begin = ctx.now();
+    ctx.delay(d);
+    if (auto* tracer = ctx.engine().tracer()) {
+      tracer->span(name_, "compute x" + std::to_string(cores), begin,
+                   ctx.now(), "compute");
+    }
+  }
+
+  /// Convenience: run on all cores of the node.
+  void compute_all_cores(sim::Context& ctx, const KernelCost& cost) {
+    compute(ctx, cost, spec_.cores);
+  }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  NodeSpec spec_;
+  EnergyMeter meter_;
+};
+
+}  // namespace deep::hw

@@ -1,0 +1,72 @@
+#include "hw/spec.hpp"
+
+namespace deep::hw {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Cluster:
+      return "cluster";
+    case NodeKind::Booster:
+      return "booster";
+    case NodeKind::Gateway:
+      return "gateway";
+    case NodeKind::Device:
+      return "device";
+  }
+  return "?";
+}
+
+NodeSpec xeon_cluster_node() {
+  NodeSpec s;
+  s.model = "2x Xeon E5-2680 (SNB)";
+  s.kind = NodeKind::Cluster;
+  s.cores = 16;
+  s.clock_ghz = 2.7;
+  s.flops_per_cycle_per_core = 8.0;  // AVX: 4-wide DP add + mul
+  s.mem_bw_bytes_per_sec = 80e9;
+  s.idle_watts = 120.0;
+  s.peak_watts = 350.0;  // ~1 GFlop/W at peak, as BG-era clusters were
+  return s;
+}
+
+NodeSpec knc_booster_node() {
+  NodeSpec s;
+  s.model = "Xeon Phi 5110P (KNC)";
+  s.kind = NodeKind::Booster;
+  s.cores = 60;
+  s.clock_ghz = 1.053;
+  s.flops_per_cycle_per_core = 16.0;  // 8-wide DP SIMD with FMA
+  s.mem_bw_bytes_per_sec = 150e9;     // GDDR5, achievable stream
+  s.idle_watts = 90.0;
+  s.peak_watts = 225.0;  // ~4.5 GFlop/W: the paper's "5 GFlop/W" class
+  return s;
+}
+
+NodeSpec gateway_node() {
+  NodeSpec s;
+  s.model = "Booster Interface (BI)";
+  s.kind = NodeKind::Gateway;
+  s.cores = 4;
+  s.clock_ghz = 2.1;
+  s.flops_per_cycle_per_core = 8.0;
+  s.mem_bw_bytes_per_sec = 40e9;
+  s.idle_watts = 60.0;
+  s.peak_watts = 120.0;
+  return s;
+}
+
+NodeSpec kepler_gpu_device() {
+  NodeSpec s;
+  s.model = "Kepler K20X";
+  s.kind = NodeKind::Device;
+  // Modelled as one wide "core": kernels are data-parallel over the device.
+  s.cores = 1;
+  s.clock_ghz = 0.732;
+  s.flops_per_cycle_per_core = 1792.0;  // 14 SMX x 64 DP lanes x 2 (FMA)
+  s.mem_bw_bytes_per_sec = 180e9;       // achievable of 250 GB/s peak
+  s.idle_watts = 30.0;
+  s.peak_watts = 235.0;
+  return s;
+}
+
+}  // namespace deep::hw

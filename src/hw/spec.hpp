@@ -1,0 +1,60 @@
+#pragma once
+// Node hardware descriptions for the simulated DEEP machine.
+//
+// Numbers are calibrated to the 2013-era hardware the paper names: dual-
+// socket Sandy-Bridge Xeon cluster nodes, Intel Xeon Phi (KNC) booster
+// nodes, Kepler-class GPUs for the "accelerated cluster" baseline, and the
+// Booster-Interface gateway nodes.  Absolute values matter less than the
+// ratios the paper argues from (KNC ~3x the flops of a CN at ~5 GFlop/W;
+// GPUs fast but host-bound).
+
+#include <cstdint>
+#include <string>
+
+namespace deep::hw {
+
+/// Dense integer id of a simulated node; unique across the whole system
+/// (cluster, booster, gateways).
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind {
+  Cluster,   // multi-core Xeon node (CN)
+  Booster,   // many-core Xeon Phi node (BN)
+  Gateway,   // Booster Interface (BI) bridging InfiniBand and EXTOLL
+  Device,    // PCIe-attached accelerator (GPU baseline)
+};
+
+const char* to_string(NodeKind kind);
+
+/// Static description of one node's silicon.
+struct NodeSpec {
+  std::string model;
+  NodeKind kind = NodeKind::Cluster;
+  int cores = 1;
+  double clock_ghz = 1.0;
+  double flops_per_cycle_per_core = 1.0;  // SIMD width x FMA, double precision
+  double mem_bw_bytes_per_sec = 1.0;      // achievable stream bandwidth
+  double idle_watts = 0.0;
+  double peak_watts = 0.0;
+
+  /// Peak double-precision flop rate of the whole node (flops/second).
+  double peak_flops() const {
+    return cores * clock_ghz * 1e9 * flops_per_cycle_per_core;
+  }
+  /// Peak energy efficiency at full load (flops/joule == GFlop/s per W).
+  double peak_flops_per_watt() const {
+    return peak_watts > 0 ? peak_flops() / peak_watts : 0.0;
+  }
+};
+
+/// Dual-socket Xeon E5-2680 cluster node (16 cores, ~346 GF, ~80 GB/s).
+NodeSpec xeon_cluster_node();
+/// Intel Xeon Phi 5110P (KNC) booster node (60 cores, ~1011 GF, ~150 GB/s).
+NodeSpec knc_booster_node();
+/// Booster Interface gateway node (modest CPU; exists to move packets).
+NodeSpec gateway_node();
+/// Kepler-class GPU (K20X) used by the accelerated-cluster baseline.
+NodeSpec kepler_gpu_device();
+
+}  // namespace deep::hw

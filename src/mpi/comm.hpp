@@ -1,0 +1,87 @@
+#pragma once
+// Communicator handles.
+//
+// A Comm is a per-rank value handle onto shared-within-the-rank state (like
+// an MPI_Comm).  Every member of a communicator holds its own CommState
+// instance, but all instances agree on the context ids (allocated through
+// the memoised block allocator) and the group contents.  The collective
+// epoch counter advances once per collective call; since MPI requires all
+// members to issue collectives in the same order, the counters stay in sync
+// across ranks.
+
+#include <memory>
+#include <optional>
+
+#include "mpi/types.hpp"
+#include "util/error.hpp"
+
+namespace deep::mpi {
+
+struct CommState {
+  ContextId ctx_p2p = 0;
+  ContextId ctx_coll = 0;
+  GroupPtr group;
+  Rank rank = kAnySource;
+  std::uint64_t coll_epoch = 0;
+};
+
+class Comm {
+ public:
+  Comm() = default;  // null handle (like MPI_COMM_NULL)
+  explicit Comm(std::shared_ptr<CommState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return static_cast<bool>(state_); }
+
+  Rank rank() const { return state()->rank; }
+  int size() const { return state()->group->size(); }
+  const GroupInfo& group() const { return *state()->group; }
+  const EpAddr& addr_of(Rank r) const {
+    DEEP_EXPECT(r >= 0 && r < size(), "Comm: rank out of range");
+    return state()->group->members[static_cast<std::size_t>(r)];
+  }
+
+  CommState* state() const {
+    DEEP_EXPECT(state_ != nullptr, "Comm: null communicator");
+    return state_.get();
+  }
+
+ private:
+  std::shared_ptr<CommState> state_;
+};
+
+/// Inter-communicator: local group + remote group sharing one context
+/// (the result of comm_spawn, slide 26).
+struct IntercommState {
+  ContextId context = 0;
+  GroupPtr local;
+  GroupPtr remote;
+  Rank rank = kAnySource;       // within the local group
+  bool low_side = false;        // ordering for merge(): low group first
+  std::uint64_t merge_epoch = 0;
+};
+
+class Intercomm {
+ public:
+  Intercomm() = default;
+  explicit Intercomm(std::shared_ptr<IntercommState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return static_cast<bool>(state_); }
+  Rank rank() const { return state()->rank; }
+  int local_size() const { return state()->local->size(); }
+  int remote_size() const { return state()->remote->size(); }
+  const EpAddr& remote_addr(Rank r) const {
+    DEEP_EXPECT(r >= 0 && r < remote_size(), "Intercomm: remote rank out of range");
+    return state()->remote->members[static_cast<std::size_t>(r)];
+  }
+
+  IntercommState* state() const {
+    DEEP_EXPECT(state_ != nullptr, "Intercomm: null handle");
+    return state_.get();
+  }
+
+ private:
+  std::shared_ptr<IntercommState> state_;
+};
+
+}  // namespace deep::mpi

@@ -1,0 +1,107 @@
+#pragma once
+// Data-layout transformation for offloading (slide 25: "how the data layout
+// has to be transformed" between cluster and booster code parts).
+//
+// The offload path ships contiguous byte buffers; application data is often
+// strided (a tile of a larger matrix, a column slice, a halo).  Layout2D
+// describes a strided 2-D region of elements and packs/unpacks it to/from a
+// contiguous buffer — the simulator-level equivalent of MPI derived
+// datatypes (MPI_Type_vector and friends).
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deep::mpi {
+
+/// A strided 2-D block: `rows` runs of `row_elems` elements, consecutive
+/// runs separated by `row_stride` elements in the source array.
+/// Element type is erased to a size in bytes.
+struct Layout2D {
+  std::size_t rows = 0;
+  std::size_t row_elems = 0;
+  std::size_t row_stride = 0;   // in elements; >= row_elems
+  std::size_t elem_bytes = 8;
+
+  std::size_t packed_bytes() const { return rows * row_elems * elem_bytes; }
+  std::size_t span_elems() const {
+    return rows == 0 ? 0 : (rows - 1) * row_stride + row_elems;
+  }
+
+  void validate() const {
+    DEEP_EXPECT(elem_bytes > 0, "Layout2D: element size must be positive");
+    DEEP_EXPECT(row_stride >= row_elems,
+                "Layout2D: stride must cover the row");
+  }
+};
+
+/// Packs the strided region starting at `src` into a fresh contiguous
+/// buffer (row-major).
+inline std::vector<std::byte> pack(const Layout2D& layout,
+                                   std::span<const std::byte> src) {
+  layout.validate();
+  DEEP_EXPECT(src.size() >= layout.span_elems() * layout.elem_bytes,
+              "pack: source does not cover the layout");
+  std::vector<std::byte> out(layout.packed_bytes());
+  const std::size_t row_bytes = layout.row_elems * layout.elem_bytes;
+  const std::size_t stride_bytes = layout.row_stride * layout.elem_bytes;
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    std::memcpy(out.data() + r * row_bytes, src.data() + r * stride_bytes,
+                row_bytes);
+  }
+  return out;
+}
+
+/// Unpacks a contiguous buffer produced by pack() back into the strided
+/// region starting at `dst`.
+inline void unpack(const Layout2D& layout, std::span<const std::byte> packed,
+                   std::span<std::byte> dst) {
+  layout.validate();
+  DEEP_EXPECT(packed.size() == layout.packed_bytes(),
+              "unpack: packed buffer has wrong size");
+  DEEP_EXPECT(dst.size() >= layout.span_elems() * layout.elem_bytes,
+              "unpack: destination does not cover the layout");
+  const std::size_t row_bytes = layout.row_elems * layout.elem_bytes;
+  const std::size_t stride_bytes = layout.row_stride * layout.elem_bytes;
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    std::memcpy(dst.data() + r * stride_bytes, packed.data() + r * row_bytes,
+                row_bytes);
+  }
+}
+
+/// Typed helpers.
+template <typename T>
+std::vector<std::byte> pack(Layout2D layout, std::span<const T> src) {
+  layout.elem_bytes = sizeof(T);
+  return pack(layout, std::as_bytes(src));
+}
+
+template <typename T>
+void unpack(Layout2D layout, std::span<const std::byte> packed,
+            std::span<T> dst) {
+  layout.elem_bytes = sizeof(T);
+  unpack(layout, packed, std::as_writable_bytes(dst));
+}
+
+/// Packs with transposition: the packed buffer holds the region
+/// column-major (rows and columns swapped).  Used when cluster and booster
+/// code parts disagree on the element order.
+template <typename T>
+std::vector<std::byte> pack_transposed(const Layout2D& layout,
+                                       std::span<const T> src) {
+  Layout2D l = layout;
+  l.elem_bytes = sizeof(T);
+  l.validate();
+  DEEP_EXPECT(src.size() >= l.span_elems(),
+              "pack_transposed: source does not cover the layout");
+  std::vector<std::byte> out(l.packed_bytes());
+  auto* out_t = reinterpret_cast<T*>(out.data());
+  for (std::size_t r = 0; r < l.rows; ++r)
+    for (std::size_t c = 0; c < l.row_elems; ++c)
+      out_t[c * l.rows + r] = src[r * l.row_stride + c];
+  return out;
+}
+
+}  // namespace deep::mpi

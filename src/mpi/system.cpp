@@ -1,0 +1,86 @@
+#include "mpi/system.hpp"
+
+#include "mpi/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace deep::mpi {
+
+MpiSystem::MpiSystem(sim::Engine& engine, cbp::Transport& transport,
+                     MpiParams params)
+    : engine_(&engine), transport_(&transport), params_(params) {
+  DEEP_EXPECT(params_.eager_threshold >= 0,
+              "MpiSystem: negative eager threshold");
+  DEEP_EXPECT(params_.header_bytes >= 0, "MpiSystem: negative header size");
+}
+
+MpiSystem::~MpiSystem() = default;
+
+Endpoint& MpiSystem::create_endpoint(hw::NodeId node) {
+  const EpId id = next_ep_++;
+  auto ep = std::make_unique<Endpoint>(*this, id, node);
+  Endpoint& ref = *ep;
+  endpoints_.emplace(id, std::move(ep));
+
+  auto [it, first_on_node] = by_node_.try_emplace(node);
+  it->second.push_back(&ref);
+  if (first_on_node) {
+    // Demux arriving MPI messages to the right endpoint on this node.
+    transport_->home_nic(node).bind(
+        net::Port::Mpi, [this](net::Message&& msg) {
+          auto* header = std::any_cast<WireHeader>(&msg.header);
+          DEEP_EXPECT(header != nullptr, "MpiSystem: malformed MPI message");
+          endpoint(header->dst_ep).on_message(std::move(msg));
+        });
+  }
+  return ref;
+}
+
+Endpoint& MpiSystem::endpoint(EpId id) {
+  auto it = endpoints_.find(id);
+  DEEP_EXPECT(it != endpoints_.end(), "MpiSystem: unknown endpoint");
+  return *it->second;
+}
+
+void MpiSystem::route(net::Message msg, net::Service svc) {
+  transport_->send(std::move(msg), svc);
+}
+
+ContextId MpiSystem::context_block(std::uint64_t key_a, std::uint64_t key_b) {
+  auto [it, inserted] = context_memo_.try_emplace({key_a, key_b}, 0);
+  if (inserted) {
+    it->second = next_context_;
+    next_context_ += kContextStride;
+  }
+  return it->second;
+}
+
+ContextId MpiSystem::fresh_context_block() {
+  const ContextId base = next_context_;
+  next_context_ += kContextStride;
+  return base;
+}
+
+MpiSystem::World MpiSystem::create_world(const std::vector<hw::NodeId>& nodes) {
+  DEEP_EXPECT(!nodes.empty(), "create_world: empty node list");
+  auto group = std::make_shared<GroupInfo>();
+  group->members.reserve(nodes.size());
+  for (const hw::NodeId node : nodes) {
+    Endpoint& ep = create_endpoint(node);
+    group->members.push_back(EpAddr{ep.id(), node});
+  }
+  const ContextId base = fresh_context_block();
+  return World{std::move(group), base, base + 1};
+}
+
+const SpawnResult& MpiSystem::spawn_collective(const SpawnRequest& request) {
+  const auto key = std::pair{request.parent_context, request.epoch};
+  auto it = spawn_memo_.find(key);
+  if (it == spawn_memo_.end()) {
+    DEEP_EXPECT(static_cast<bool>(spawner_),
+                "MpiSystem: no spawner installed (system layer missing)");
+    it = spawn_memo_.emplace(key, spawner_(request)).first;
+  }
+  return it->second;
+}
+
+}  // namespace deep::mpi

@@ -1,0 +1,112 @@
+#pragma once
+// Core types of the simulated Global MPI ("ParaStation MPI" in the paper).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace deep::mpi {
+
+using Rank = int;
+using Tag = int;
+using EpId = std::uint64_t;
+using ContextId = std::uint64_t;
+
+/// Wildcards for recv matching (like MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Tags < 0 are reserved for the library (collectives, spawn handshake).
+inline constexpr Tag kReadyTag = -2;
+inline constexpr Tag kCollTagBase = -1000;
+
+/// Completion information of a receive.
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::int64_t bytes = 0;
+};
+
+/// Reduction operators for typed collectives.
+enum class Op { Sum, Prod, Min, Max };
+
+template <typename T>
+T apply_op(Op op, T a, T b) {
+  switch (op) {
+    case Op::Sum:
+      return a + b;
+    case Op::Prod:
+      return a * b;
+    case Op::Min:
+      return a < b ? a : b;
+    case Op::Max:
+      return a > b ? a : b;
+  }
+  return a;
+}
+
+/// Addressing of one rank: its endpoint and the node it runs on.
+struct EpAddr {
+  EpId ep = 0;
+  hw::NodeId node = hw::kInvalidNode;
+};
+
+/// Immutable list of the ranks making up a group; shared between all members
+/// of a communicator.
+struct GroupInfo {
+  std::vector<EpAddr> members;
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+using GroupPtr = std::shared_ptr<const GroupInfo>;
+
+/// Key-value hints passed to spawn (MPI_Info equivalent).
+using Info = std::map<std::string, std::string>;
+
+/// One in-flight point-to-point operation.  Created by isend/irecv, completed
+/// by the endpoint, released by wait().
+struct Request {
+  bool done = false;
+  Status status;
+  sim::Process* waiter = nullptr;  // process to wake on completion
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/// Message kinds on the wire (eager/rendezvous protocol of ParaStation MPI,
+/// plus the one-sided operations of the EXTOLL RMA engine).
+enum class MsgKind : std::uint8_t {
+  Eager,    // header + data in one message (small payloads; VELO path)
+  Rts,      // rendezvous request-to-send (control; VELO path)
+  Cts,      // rendezvous clear-to-send (control; VELO path)
+  RData,    // rendezvous bulk data (RMA path)
+  Put,      // one-sided write into a window (RMA path)
+  Accum,    // one-sided element-wise reduction into a window (RMA path)
+  PutAck,   // remote completion of a Put (control)
+  GetReq,   // one-sided read request (control)
+  GetResp,  // one-sided read response carrying the data (RMA path)
+};
+
+/// The protocol header carried by every MPI wire message.
+struct WireHeader {
+  MsgKind kind = MsgKind::Eager;
+  ContextId context = 0;
+  Rank src_rank = kAnySource;  // sender's rank within `context`'s group
+  Tag tag = kAnyTag;
+  std::int64_t bytes = 0;  // logical payload size
+  EpId src_ep = 0;
+  EpId dst_ep = 0;
+  std::uint64_t op = 0;   // rendezvous / one-sided operation id
+  std::uint64_t seq = 0;  // per (src_ep,dst_ep) flow sequence number
+  std::uint64_t window = 0;      // one-sided: target window id
+  std::int64_t offset = 0;       // one-sided: byte offset in the window
+  Op accum_op = Op::Sum;         // Accum: reduction operator
+  std::uint8_t accum_dtype = 0;  // Accum: 0 = double, 1 = int64
+};
+
+}  // namespace deep::mpi

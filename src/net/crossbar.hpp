@@ -1,0 +1,70 @@
+#pragma once
+// CrossbarFabric: the InfiniBand-style cluster interconnect.
+//
+// Flat topology (slide 6): any node reaches any other through a central
+// switching core modelled as a constant fabric latency.  Contention appears
+// only at the endpoints: each NIC's injection (tx) and ejection (rx) links
+// serialise at the fabric bandwidth.  The model is pipelined cut-through:
+// a message occupies tx for size/bw, travels for `latency`, and occupies rx
+// for size/bw; overlapping use of an endpoint link queues.
+
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+
+namespace deep::net {
+
+struct CrossbarParams {
+  sim::Duration latency = sim::from_micros(1.5);  // adapter + switch + wire
+  double bandwidth_bytes_per_sec = 6.0e9;         // FDR-class effective
+};
+
+class CrossbarFabric final : public Fabric {
+ public:
+  CrossbarFabric(sim::Engine& engine, std::string name, CrossbarParams params)
+      : Fabric(engine, std::move(name)), params_(params) {
+    DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
+                "CrossbarFabric: bandwidth must be positive");
+  }
+
+  const CrossbarParams& params() const { return params_; }
+
+  void send(Message msg, Service svc) override {
+    DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
+                "CrossbarFabric::send: endpoint not attached");
+    DEEP_EXPECT(msg.size_bytes >= 0, "CrossbarFabric::send: negative size");
+    const sim::TimePoint now = engine_->now();
+    const sim::Duration wire = serialisation(msg.size_bytes);
+
+    if (svc == Service::Control) {
+      // Priority virtual channel: pure latency, no queueing behind bulk.
+      deliver_at(now + params_.latency + wire, std::move(msg));
+      return;
+    }
+
+    sim::TimePoint& tx = tx_free_[msg.src];
+    const sim::TimePoint tx_start = std::max(now, tx);
+    const sim::TimePoint tx_end = tx_start + wire;
+    tx = tx_end;
+
+    const sim::TimePoint nominal = tx_end + params_.latency;
+    sim::TimePoint& rx = rx_free_[msg.dst];
+    const sim::TimePoint deliver = std::max(nominal, rx + wire);
+    rx = deliver;
+
+    deliver_at(deliver, std::move(msg));
+  }
+
+  /// Time the wire is occupied by `bytes` (zero for zero-byte messages).
+  sim::Duration serialisation(std::int64_t bytes) const {
+    return sim::from_seconds(static_cast<double>(bytes) /
+                             params_.bandwidth_bytes_per_sec);
+  }
+
+ private:
+  CrossbarParams params_;
+  std::unordered_map<hw::NodeId, sim::TimePoint> tx_free_;
+  std::unordered_map<hw::NodeId, sim::TimePoint> rx_free_;
+};
+
+}  // namespace deep::net

@@ -1,0 +1,81 @@
+#pragma once
+// Fabric interface: a network that connects attached nodes and delivers
+// Messages to their NICs after a modelled delay.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/message.hpp"
+#include "net/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace deep::net {
+
+/// Aggregate traffic statistics every fabric keeps.
+struct FabricStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  sim::Summary delivery_us;  // end-to-end per-message latency in microseconds
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+  virtual ~Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() const { return *engine_; }
+
+  /// Attaches a node; returns its NIC on this fabric (stable reference).
+  virtual Nic& attach(hw::NodeId node) {
+    auto [it, inserted] = nics_.try_emplace(node, nullptr);
+    DEEP_EXPECT(inserted, "Fabric::attach: node already attached");
+    it->second = std::make_unique<Nic>(node);
+    return *it->second;
+  }
+
+  bool attached(hw::NodeId node) const { return nics_.contains(node); }
+
+  Nic& nic(hw::NodeId node) {
+    auto it = nics_.find(node);
+    DEEP_EXPECT(it != nics_.end(), "Fabric::nic: node not attached");
+    return *it->second;
+  }
+
+  /// Injects a message; the fabric delivers it to the destination NIC after
+  /// its modelled delay.  `svc` selects the service class (VELO/RMA on
+  /// EXTOLL-like fabrics).
+  virtual void send(Message msg, Service svc) = 0;
+
+  const FabricStats& stats() const { return stats_; }
+
+ protected:
+  /// Schedules delivery at absolute time `at` and books the statistics.
+  void deliver_at(sim::TimePoint at, Message msg) {
+    stats_.messages += 1;
+    stats_.bytes += msg.size_bytes;
+    stats_.delivery_us.add((at - engine_->now()).micros());
+    if (auto* tracer = engine_->tracer()) {
+      tracer->span(name_ + " wire",
+                   std::to_string(msg.src) + "->" + std::to_string(msg.dst) +
+                       " " + std::to_string(msg.size_bytes) + "B",
+                   engine_->now(), at, "net");
+    }
+    auto* nic = nics_.at(msg.dst).get();
+    engine_->schedule_at(
+        at, [nic, m = std::move(msg)]() mutable { nic->deliver(std::move(m)); });
+  }
+
+  sim::Engine* engine_;
+  std::string name_;
+  std::unordered_map<hw::NodeId, std::unique_ptr<Nic>> nics_;
+  FabricStats stats_;
+};
+
+}  // namespace deep::net

@@ -1,0 +1,83 @@
+#include "net/fattree.hpp"
+
+#include <algorithm>
+
+namespace deep::net {
+
+FatTreeFabric::FatTreeFabric(sim::Engine& engine, std::string name,
+                             FatTreeParams params)
+    : Fabric(engine, std::move(name)), params_(params) {
+  DEEP_EXPECT(params_.leaf_radix >= 1, "FatTreeFabric: leaf_radix must be >= 1");
+  DEEP_EXPECT(params_.uplinks >= 1 && params_.uplinks <= params_.leaf_radix,
+              "FatTreeFabric: uplinks must be in [1, leaf_radix]");
+  DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
+              "FatTreeFabric: bandwidth must be positive");
+}
+
+Nic& FatTreeFabric::attach(hw::NodeId node) {
+  Nic& nic = Fabric::attach(node);
+  leaves_[node] = attached_count_++ / params_.leaf_radix;
+  return nic;
+}
+
+int FatTreeFabric::leaf_of(hw::NodeId node) const {
+  auto it = leaves_.find(node);
+  DEEP_EXPECT(it != leaves_.end(), "FatTreeFabric: node not attached");
+  return it->second;
+}
+
+int FatTreeFabric::hops(hw::NodeId src, hw::NodeId dst) const {
+  return leaf_of(src) == leaf_of(dst) ? 1 : 3;
+}
+
+void FatTreeFabric::send(Message msg, Service svc) {
+  DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
+              "FatTreeFabric::send: endpoint not attached");
+  DEEP_EXPECT(msg.size_bytes >= 0, "FatTreeFabric::send: negative size");
+  const sim::Duration wire = serialisation(msg.size_bytes);
+  const int src_leaf = leaf_of(msg.src);
+  const int dst_leaf = leaf_of(msg.dst);
+
+  if (svc == Service::Control) {
+    // Priority virtual channel: latency only.
+    const int switches = src_leaf == dst_leaf ? 1 : 3;
+    deliver_at(engine_->now() + params_.adapter_latency * 2 +
+                   params_.switch_latency * switches + wire,
+               std::move(msg));
+    return;
+  }
+
+  // Path links, wormhole-reserved from head arrival to tail departure.
+  std::vector<std::int64_t> links;
+  links.push_back(node_tx(msg.src));
+  int switches = 1;
+  if (src_leaf != dst_leaf) {
+    // Static ECMP: a well-mixed hash of (src, dst) picks the uplink / spine
+    // plane for this pair (linear hashes degenerate on strided traffic).
+    std::uint64_t h = (static_cast<std::uint64_t>(msg.src) << 32) ^
+                      static_cast<std::uint64_t>(msg.dst);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    const int plane = static_cast<int>(h % static_cast<std::uint64_t>(params_.uplinks));
+    links.push_back(trunk(src_leaf, plane, Dir::Up));
+    links.push_back(trunk(dst_leaf, plane, Dir::Down));
+    switches = 3;
+  }
+  links.push_back(node_rx(msg.dst));
+
+  sim::TimePoint head =
+      engine_->now() + params_.adapter_latency + params_.switch_latency * switches;
+  for (const std::int64_t link : links) {
+    auto it = link_free_.find(link);
+    if (it != link_free_.end()) head = std::max(head, it->second);
+  }
+  const sim::TimePoint tail = head + wire;
+  for (const std::int64_t link : links) link_free_[link] = tail;
+
+  deliver_at(tail + params_.adapter_latency, std::move(msg));
+}
+
+}  // namespace deep::net

@@ -1,0 +1,68 @@
+#pragma once
+// FatTreeFabric: a two-level fat-tree, the realistic construction of the
+// cluster's InfiniBand network.
+//
+// Nodes attach to leaf switches (`leaf_radix` nodes per leaf); every leaf
+// has `uplinks` links to the spine.  With uplinks == leaf_radix the tree is
+// non-blocking and behaves like the idealised crossbar; smaller uplink
+// counts model the oversubscribed (cheaper) fabrics real clusters deploy,
+// where cross-leaf traffic contends on the uplinks.
+//
+// Routing is ECMP-style: the uplink (and the matching spine->leaf downlink)
+// is chosen by a deterministic hash of (src, dst), as real IB subnet
+// managers do with static routing.  Wormhole timing like the torus: the
+// head pays per-switch latency and queues on busy links; every traversed
+// link is reserved until the tail passes.
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace deep::net {
+
+struct FatTreeParams {
+  int leaf_radix = 8;  // nodes per leaf switch
+  int uplinks = 8;     // leaf->spine links (== leaf_radix: non-blocking)
+  sim::Duration adapter_latency = sim::from_nanos(400);  // NIC each end
+  sim::Duration switch_latency = sim::from_nanos(200);   // per switch hop
+  double bandwidth_bytes_per_sec = 6.0e9;
+};
+
+class FatTreeFabric final : public Fabric {
+ public:
+  FatTreeFabric(sim::Engine& engine, std::string name, FatTreeParams params);
+
+  const FatTreeParams& params() const { return params_; }
+
+  Nic& attach(hw::NodeId node) override;
+  void send(Message msg, Service svc) override;
+
+  int leaf_of(hw::NodeId node) const;
+  /// Switch hops between two attached nodes (1 same leaf, 3 cross leaf).
+  int hops(hw::NodeId src, hw::NodeId dst) const;
+
+  sim::Duration serialisation(std::int64_t bytes) const {
+    return sim::from_seconds(static_cast<double>(bytes) /
+                             params_.bandwidth_bytes_per_sec);
+  }
+
+ private:
+  // Link identifiers.  Node links are keyed by node id; leaf<->spine links
+  // by (leaf, uplink index, direction).
+  enum class Dir : std::uint8_t { Up, Down };
+  std::int64_t node_tx(hw::NodeId n) const { return n * 4; }
+  std::int64_t node_rx(hw::NodeId n) const { return n * 4 + 1; }
+  std::int64_t trunk(int leaf, int uplink, Dir dir) const {
+    return -(((static_cast<std::int64_t>(leaf) * params_.uplinks + uplink) << 1 |
+              static_cast<std::int64_t>(dir)) +
+             1);
+  }
+
+  FatTreeParams params_;
+  std::unordered_map<hw::NodeId, int> leaves_;
+  std::unordered_map<std::int64_t, sim::TimePoint> link_free_;
+  int attached_count_ = 0;
+};
+
+}  // namespace deep::net

@@ -1,0 +1,51 @@
+#pragma once
+// Messages exchanged between simulated nodes.
+//
+// A Message models a network transfer: `size_bytes` is what the wire sees
+// (headers included), `payload` optionally carries real bytes so the layers
+// above (MPI, OmpSs offload) are functionally correct, and `header` carries
+// an in-simulator protocol struct (the simulator's honest shortcut for
+// header serialisation).
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/spec.hpp"
+
+namespace deep::net {
+
+/// Well-known NIC ports (protocol demultiplexing on arrival).
+enum class Port : std::uint16_t {
+  Mpi = 1,   // ParaStation-MPI transport
+  Cbp = 2,   // Cluster-Booster Protocol (gateway bridging)
+  Raw = 15,  // microbenchmarks / tests
+};
+
+using Payload = std::shared_ptr<const std::vector<std::byte>>;
+
+inline Payload make_payload(std::vector<std::byte> bytes) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}
+
+struct Message {
+  hw::NodeId src = hw::kInvalidNode;
+  hw::NodeId dst = hw::kInvalidNode;
+  Port port = Port::Raw;
+  std::int64_t size_bytes = 0;  // modelled wire size
+  std::any header;              // protocol-defined metadata
+  Payload payload;              // optional real data bytes
+};
+
+/// Service class a sender requests from a fabric.  On EXTOLL these map to
+/// the VELO (small-message) and RMA (bulk) engines; other fabrics may
+/// ignore the distinction.
+enum class Service {
+  Small,    // latency-optimised, e.g. eager MPI messages
+  Bulk,     // bandwidth-optimised, e.g. rendezvous data
+  Control,  // tiny protocol messages (RTS/CTS): ride a priority virtual
+            // channel and do not queue behind bulk traffic
+};
+
+}  // namespace deep::net

@@ -1,0 +1,63 @@
+#pragma once
+// Per-node, per-fabric network interface: demultiplexes arriving messages to
+// protocol handlers by port.
+//
+// Handlers run in event context (not inside a process); they must not block.
+// Protocols that need to block (MPI ranks) enqueue into their own structures
+// and wake the owning process.
+
+#include <array>
+#include <functional>
+
+#include "net/message.hpp"
+#include "util/error.hpp"
+
+namespace deep::net {
+
+class Nic {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  explicit Nic(hw::NodeId node) : node_(node) {}
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  hw::NodeId node() const { return node_; }
+
+  /// Registers the protocol handler for `port`; one handler per port.
+  void bind(Port port, Handler handler) {
+    auto& slot = handlers_.at(index(port));
+    DEEP_EXPECT(!slot, "Nic::bind: port already bound");
+    slot = std::move(handler);
+  }
+
+  /// Replaces (or clears) the handler for `port`.
+  void rebind(Port port, Handler handler) {
+    handlers_.at(index(port)) = std::move(handler);
+  }
+
+  bool bound(Port port) const {
+    return static_cast<bool>(handlers_.at(index(port)));
+  }
+
+  /// Called by the fabric at delivery time.
+  void deliver(Message&& msg) {
+    auto& handler = handlers_.at(index(msg.port));
+    DEEP_EXPECT(static_cast<bool>(handler),
+                "Nic::deliver: no handler bound for port");
+    handler(std::move(msg));
+  }
+
+ private:
+  static std::size_t index(Port port) {
+    const auto i = static_cast<std::size_t>(port);
+    DEEP_EXPECT(i < kMaxPorts, "Nic: port out of range");
+    return i;
+  }
+
+  static constexpr std::size_t kMaxPorts = 16;
+  hw::NodeId node_;
+  std::array<Handler, kMaxPorts> handlers_{};
+};
+
+}  // namespace deep::net

@@ -1,0 +1,185 @@
+#include "net/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deep::net {
+
+TorusFabric::TorusFabric(sim::Engine& engine, std::string name,
+                         TorusParams params)
+    : Fabric(engine, std::move(name)), params_(params), rng_(params.seed) {
+  for (int d = 0; d < 3; ++d)
+    DEEP_EXPECT(params_.dims[d] >= 1, "TorusFabric: dims must be >= 1");
+  DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
+              "TorusFabric: bandwidth must be positive");
+  DEEP_EXPECT(params_.packet_bytes > 0, "TorusFabric: packet size must be > 0");
+  DEEP_EXPECT(params_.packet_error_rate >= 0.0 && params_.packet_error_rate < 1.0,
+              "TorusFabric: packet error rate outside [0,1)");
+}
+
+int TorusFabric::linear(TorusCoord c) const {
+  return (c.z * params_.dims[1] + c.y) * params_.dims[0] + c.x;
+}
+
+TorusFabric::LinkKey TorusFabric::pack(TorusCoord c, int channel) const {
+  return LinkKey{static_cast<std::int64_t>(linear(c)) * 16 + channel};
+}
+
+Nic& TorusFabric::attach(hw::NodeId node) {
+  const int capacity = params_.dims[0] * params_.dims[1] * params_.dims[2];
+  DEEP_EXPECT(next_linear_ < capacity, "TorusFabric::attach: torus is full");
+  const int lin = next_linear_++;
+  TorusCoord c;
+  c.x = lin % params_.dims[0];
+  c.y = (lin / params_.dims[0]) % params_.dims[1];
+  c.z = lin / (params_.dims[0] * params_.dims[1]);
+  return attach_at(node, c);
+}
+
+Nic& TorusFabric::attach_at(hw::NodeId node, TorusCoord coord) {
+  DEEP_EXPECT(coord.x >= 0 && coord.x < params_.dims[0] && coord.y >= 0 &&
+                  coord.y < params_.dims[1] && coord.z >= 0 &&
+                  coord.z < params_.dims[2],
+              "TorusFabric::attach_at: coordinate outside torus");
+  DEEP_EXPECT(!by_linear_.contains(linear(coord)),
+              "TorusFabric::attach_at: coordinate already occupied");
+  Nic& nic = Fabric::attach(node);
+  coords_[node] = coord;
+  by_linear_[linear(coord)] = node;
+  return nic;
+}
+
+TorusCoord TorusFabric::coord_of(hw::NodeId node) const {
+  auto it = coords_.find(node);
+  DEEP_EXPECT(it != coords_.end(), "TorusFabric::coord_of: node not attached");
+  return it->second;
+}
+
+int TorusFabric::displacement(int from, int to, int dim) const {
+  const int n = params_.dims[dim];
+  int d = (to - from) % n;
+  if (d < 0) d += n;          // forward distance in [0, n)
+  if (d * 2 > n) d -= n;      // wrap backwards if shorter
+  // Ties (d*2 == n) route in the positive direction.
+  return d;
+}
+
+int TorusFabric::hops(TorusCoord a, TorusCoord b) const {
+  int total = 0;
+  total += std::abs(displacement(a.x, b.x, 0));
+  total += std::abs(displacement(a.y, b.y, 1));
+  total += std::abs(displacement(a.z, b.z, 2));
+  return total;
+}
+
+int TorusFabric::hops(hw::NodeId src, hw::NodeId dst) const {
+  return hops(coord_of(src), coord_of(dst));
+}
+
+std::vector<TorusFabric::LinkKey> TorusFabric::route(TorusCoord a,
+                                                     TorusCoord b) const {
+  std::vector<LinkKey> links;
+  TorusCoord cur = a;
+  const auto walk = [&](int dim) {
+    int* cur_axis = dim == 0 ? &cur.x : dim == 1 ? &cur.y : &cur.z;
+    const int target = dim == 0 ? b.x : dim == 1 ? b.y : b.z;
+    int d = displacement(*cur_axis, target, dim);
+    const bool positive = d > 0;
+    const int n = params_.dims[dim];
+    while (d != 0) {
+      links.push_back(dim_link(cur, dim, positive));
+      *cur_axis = ((*cur_axis + (positive ? 1 : -1)) % n + n) % n;
+      d += positive ? -1 : 1;
+    }
+  };
+  walk(0);
+  walk(1);
+  walk(2);
+  return links;
+}
+
+sim::Duration TorusFabric::retransmission_penalty(std::int64_t bytes,
+                                                  int nlinks) {
+  if (params_.packet_error_rate <= 0.0 || bytes <= 0 || nlinks == 0) return {};
+  const std::int64_t packets =
+      (bytes + params_.packet_bytes - 1) / params_.packet_bytes;
+  // Each packet traverses each link once; every traversal may require a
+  // retransmission (geometric retries are folded to one expected resend —
+  // PER is small in all experiments).
+  const std::int64_t trials = packets * nlinks;
+  std::int64_t resends = 0;
+  if (trials <= 256) {
+    for (std::int64_t i = 0; i < trials; ++i)
+      resends += rng_.chance(params_.packet_error_rate) ? 1 : 0;
+  } else {
+    // Gaussian approximation of the binomial for large transfers, clamped.
+    const double mean = static_cast<double>(trials) * params_.packet_error_rate;
+    const double sd = std::sqrt(mean * (1.0 - params_.packet_error_rate));
+    const double u1 = std::max(rng_.uniform(), 1e-12);
+    const double u2 = rng_.uniform();
+    const double gauss =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    resends = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::llround(mean + sd * gauss)));
+  }
+  if (resends == 0) return {};
+  retransmissions_ += resends;
+  ++affected_messages_;
+  const std::int64_t min_packet = std::min(params_.packet_bytes, bytes);
+  return (params_.hop_latency + serialisation(min_packet)) *
+         static_cast<std::int64_t>(resends);
+}
+
+void TorusFabric::send(Message msg, Service svc) {
+  DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
+              "TorusFabric::send: endpoint not attached");
+  DEEP_EXPECT(msg.size_bytes >= 0, "TorusFabric::send: negative size");
+  const TorusCoord a = coord_of(msg.src);
+  const TorusCoord b = coord_of(msg.dst);
+
+  const sim::Duration engine_overhead =
+      svc == Service::Bulk ? params_.rma_setup : params_.velo_injection;
+  const sim::Duration wire = serialisation(msg.size_bytes);
+
+  if (svc == Service::Control) {
+    // Priority virtual channel (VELO-class): pays engine + per-hop latency
+    // but does not queue on, or reserve, the data links.
+    const int nhops = hops(a, b) + 2;  // inject + route + eject
+    deliver_at(engine_->now() + engine_overhead + params_.hop_latency * nhops +
+                   wire + params_.ejection,
+               std::move(msg));
+    return;
+  }
+
+  // Head traversal: injection link, route links, ejection link.
+  std::vector<LinkKey> links;
+  links.push_back(inject_link(a));
+  if (!(a == b)) {
+    auto path = route(a, b);
+    links.insert(links.end(), path.begin(), path.end());
+  }
+  links.push_back(eject_link(b));
+
+  // The engine (VELO or RMA) is busy for the setup overhead of each
+  // message, which is what bounds the NIC's message rate.
+  const LinkKey engine_key =
+      engine_link(a, svc == Service::Bulk ? Service::Bulk : Service::Small);
+  sim::TimePoint head = engine_->now();
+  if (auto it = link_free_.find(engine_key); it != link_free_.end())
+    head = std::max(head, it->second);
+  head = head + engine_overhead;
+  link_free_[engine_key] = head;
+  for (const LinkKey& link : links) {
+    auto it = link_free_.find(link);
+    if (it != link_free_.end()) head = std::max(head, it->second);
+    head = head + params_.hop_latency;
+  }
+  sim::TimePoint tail = head + wire;
+  tail = tail +
+         retransmission_penalty(msg.size_bytes, static_cast<int>(links.size()));
+  for (const LinkKey& link : links) link_free_[link] = tail;
+
+  deliver_at(tail + params_.ejection, std::move(msg));
+}
+
+}  // namespace deep::net

@@ -1,0 +1,119 @@
+#pragma once
+// TorusFabric: the EXTOLL-style booster interconnect.
+//
+// Models the EXTOLL NIC features the paper lists (slide 16):
+//   * 6 links forming a 3-D torus, dimension-ordered shortest-path routing,
+//   * a VELO engine for latency-critical small messages (low injection
+//     overhead; used by the MPI eager path),
+//   * an RMA engine for bulk transfers (descriptor setup cost, full link
+//     bandwidth; used by the MPI rendezvous path),
+//   * link-level retransmission: packets are CRC-protected, a corrupted
+//     packet is retransmitted on the affected link (latency penalty, no
+//     data loss), with counters exposed for the RAS benches.
+//
+// Wormhole-style timing: the head flit pays a per-hop router latency and
+// queues on busy links; every traversed link (including the injection and
+// ejection links) is then held until the message tail passes.
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace deep::net {
+
+/// Coordinates of a node on the 3-D torus.
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const TorusCoord&) const = default;
+};
+
+struct TorusParams {
+  std::array<int, 3> dims{4, 4, 4};
+  sim::Duration hop_latency = sim::from_nanos(60);
+  sim::Duration velo_injection = sim::from_nanos(300);
+  sim::Duration rma_setup = sim::from_micros(1.2);
+  sim::Duration ejection = sim::from_nanos(300);
+  double bandwidth_bytes_per_sec = 5.0e9;  // per link direction
+  std::int64_t packet_bytes = 2048;        // retransmission granularity
+  double packet_error_rate = 0.0;          // probability a packet needs resend
+  std::uint64_t seed = 0x5EED;             // for error sampling
+};
+
+class TorusFabric final : public Fabric {
+ public:
+  TorusFabric(sim::Engine& engine, std::string name, TorusParams params);
+
+  const TorusParams& params() const { return params_; }
+
+  /// Attaches the node at the next free coordinate (lexicographic order).
+  Nic& attach(hw::NodeId node) override;
+  /// Attaches the node at an explicit coordinate.
+  Nic& attach_at(hw::NodeId node, TorusCoord coord);
+
+  TorusCoord coord_of(hw::NodeId node) const;
+  /// Number of torus hops between two attached nodes (dimension-ordered).
+  int hops(hw::NodeId src, hw::NodeId dst) const;
+  /// Shortest-path hop count between two coordinates on this torus.
+  int hops(TorusCoord a, TorusCoord b) const;
+
+  void send(Message msg, Service svc) override;
+
+  /// Total link-level retransmissions performed so far.
+  std::int64_t retransmissions() const { return retransmissions_; }
+  /// Messages that traversed at least one retransmitted packet.
+  std::int64_t affected_messages() const { return affected_messages_; }
+
+  sim::Duration serialisation(std::int64_t bytes) const {
+    return sim::from_seconds(static_cast<double>(bytes) /
+                             params_.bandwidth_bytes_per_sec);
+  }
+
+ private:
+  // Directed link identifier: source router coordinate + channel (dimension
+  // + sign, injection, ejection, or engine pseudo-link).
+  struct LinkKey {
+    std::int64_t packed;
+    bool operator==(const LinkKey&) const = default;
+  };
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& k) const {
+      return std::hash<std::int64_t>()(k.packed);
+    }
+  };
+
+  LinkKey inject_link(TorusCoord c) const { return pack(c, 6); }
+  LinkKey eject_link(TorusCoord c) const { return pack(c, 7); }
+  // The VELO/RMA engines serialise message setup per NIC: modelled as
+  // pseudo-links occupied for the injection overhead of each message.
+  LinkKey engine_link(TorusCoord c, Service svc) const {
+    return pack(c, svc == Service::Bulk ? 9 : 8);
+  }
+  LinkKey dim_link(TorusCoord c, int dim, bool positive) const {
+    return pack(c, dim * 2 + (positive ? 0 : 1));
+  }
+  LinkKey pack(TorusCoord c, int channel) const;
+
+  int linear(TorusCoord c) const;
+  /// Dimension-ordered route from `a` to `b`: the sequence of directed links.
+  std::vector<LinkKey> route(TorusCoord a, TorusCoord b) const;
+  /// Signed shortest displacement along `dim` from `from` to `to`.
+  int displacement(int from, int to, int dim) const;
+
+  sim::Duration retransmission_penalty(std::int64_t bytes, int nlinks);
+
+  TorusParams params_;
+  std::unordered_map<hw::NodeId, TorusCoord> coords_;
+  std::unordered_map<int, hw::NodeId> by_linear_;
+  std::unordered_map<LinkKey, sim::TimePoint, LinkKeyHash> link_free_;
+  util::Rng rng_;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t affected_messages_ = 0;
+  int next_linear_ = 0;
+};
+
+}  // namespace deep::net

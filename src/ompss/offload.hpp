@@ -1,0 +1,77 @@
+#pragma once
+// The OmpSs offload abstraction (slides 30-31).
+//
+// Cluster-side code invokes named kernels on a booster-side MPI world that
+// was created with comm_spawn.  The booster runs offload_server(); each
+// request is broadcast to all booster ranks, which execute the registered
+// kernel collectively (the kernel may freely use the booster's own world
+// communicator — this is exactly the "offload of complex, parallel kernels"
+// the Cluster-Booster architecture is built for).  The kernel's result on
+// booster rank 0 is shipped back to the invoking cluster rank.
+//
+// Integration with the task runtime: offload_task() submits an External
+// task whose body performs the invoke, so offloads take their place in the
+// dataflow DAG next to local tasks.
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "ompss/runtime.hpp"
+
+namespace deep::ompss {
+
+/// A booster-side kernel: consumes the request payload, may communicate over
+/// the booster world (`mpi`), returns the reply payload (rank 0's return
+/// value is shipped back; other ranks' are discarded).
+using OffloadKernel = std::function<std::vector<std::byte>(
+    std::span<const std::byte> input, mpi::Mpi& mpi)>;
+
+/// Named kernel table; the simulator's stand-in for the code sections the
+/// Mercurium compiler would outline for the booster binary.
+class KernelRegistry {
+ public:
+  void add(std::string name, OffloadKernel kernel);
+  const OffloadKernel& get(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, OffloadKernel> kernels_;
+};
+
+/// Reserved user-space tags of the offload protocol.
+inline constexpr mpi::Tag kOffloadHeaderTag = 1 << 20;
+inline constexpr mpi::Tag kOffloadPayloadTag = kOffloadHeaderTag + 1;
+inline constexpr mpi::Tag kOffloadReplyHdrTag = kOffloadHeaderTag + 2;
+inline constexpr mpi::Tag kOffloadReplyTag = kOffloadHeaderTag + 3;
+
+/// Cluster side: synchronously runs `kernel` on the booster world behind
+/// `booster` and returns the reply payload.  Any cluster rank may invoke;
+/// requests are serialised by booster rank 0.
+std::vector<std::byte> offload_invoke(mpi::Mpi& mpi,
+                                      const mpi::Intercomm& booster,
+                                      const std::string& kernel,
+                                      std::span<const std::byte> input);
+
+/// Cluster side: asks the server loop to terminate (collective on the
+/// booster side).  Call exactly once, from one rank.
+void offload_shutdown(mpi::Mpi& mpi, const mpi::Intercomm& booster);
+
+/// Booster side: serves offload requests until shutdown.  Call from every
+/// rank of the spawned world.
+void offload_server(mpi::Mpi& mpi, const KernelRegistry& registry);
+
+/// Submits an offload as an External task in the dataflow DAG: when its
+/// `regions` dependencies are satisfied, the master sends `input()`'s bytes,
+/// and `on_reply` consumes the response.
+TaskId offload_task(Runtime& runtime, mpi::Mpi& mpi,
+                    const mpi::Intercomm& booster, std::string kernel,
+                    std::vector<Region> regions,
+                    std::function<std::vector<std::byte>()> input,
+                    std::function<void(std::vector<std::byte>)> on_reply);
+
+}  // namespace deep::ompss

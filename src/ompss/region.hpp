@@ -1,0 +1,57 @@
+#pragma once
+// Data regions and access modes for OmpSs-style task dependencies.
+//
+// A task declares the memory regions it reads (`in`), writes (`out`) or
+// updates (`inout`) — the library equivalent of the paper's
+// `#pragma omp task input(...) inout(...)` annotations (slide 23).  The
+// runtime derives RAW/WAR/WAW edges from overlapping regions.
+
+#include <cstddef>
+#include <span>
+
+namespace deep::ompss {
+
+enum class Access { In, Out, InOut };
+
+struct Region {
+  const void* base = nullptr;
+  std::size_t bytes = 0;
+  Access access = Access::In;
+
+  bool overlaps(const Region& other) const {
+    const auto* a0 = static_cast<const std::byte*>(base);
+    const auto* b0 = static_cast<const std::byte*>(other.base);
+    return a0 < b0 + other.bytes && b0 < a0 + bytes;
+  }
+  bool writes() const { return access != Access::In; }
+  bool reads() const { return access != Access::Out; }
+};
+
+/// Convenience constructors mirroring the pragma clauses.
+template <typename T>
+Region in(std::span<const T> data) {
+  return Region{data.data(), data.size_bytes(), Access::In};
+}
+template <typename T>
+Region out(std::span<T> data) {
+  return Region{data.data(), data.size_bytes(), Access::Out};
+}
+template <typename T>
+Region inout(std::span<T> data) {
+  return Region{data.data(), data.size_bytes(), Access::InOut};
+}
+
+template <typename T>
+Region in(const T& value) {
+  return Region{&value, sizeof(T), Access::In};
+}
+template <typename T>
+Region out(T& value) {
+  return Region{&value, sizeof(T), Access::Out};
+}
+template <typename T>
+Region inout(T& value) {
+  return Region{&value, sizeof(T), Access::InOut};
+}
+
+}  // namespace deep::ompss

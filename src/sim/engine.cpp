@@ -1,0 +1,226 @@
+#include "sim/engine.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace deep::sim {
+
+// ---------------------------------------------------------------------------
+// Process hand-shake
+// ---------------------------------------------------------------------------
+
+struct Process::Handshake {
+  std::mutex m;
+  std::condition_variable cv;
+  enum class Turn { Engine, Process } turn = Turn::Engine;
+  bool thread_started = false;
+  bool thread_done = false;
+  std::thread thread;
+};
+
+Process::Process(Engine& engine, std::uint64_t id, std::string name,
+                 std::function<void(Context&)> body)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      hs_(std::make_unique<Handshake>()) {}
+
+Process::~Process() {
+  if (hs_ && hs_->thread.joinable()) hs_->thread.join();
+}
+
+void Process::start_thread() {
+  hs_->thread = std::thread([this] {
+    {
+      // Wait for the engine to give us the first slice.
+      std::unique_lock lk(hs_->m);
+      hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Process; });
+    }
+    Context ctx(engine_, *this);
+    try {
+      if (!kill_requested_) body_(ctx);
+    } catch (const ProcessKilled&) {
+      // Graceful teardown requested by the engine.
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    finish_from_thread();
+  });
+  hs_->thread_started = true;
+}
+
+void Process::run_slice() {
+  DEEP_ASSERT(state_ == State::Runnable, "run_slice: process not runnable");
+  resume_scheduled_ = false;
+  {
+    std::unique_lock lk(hs_->m);
+    hs_->turn = Handshake::Turn::Process;
+    hs_->cv.notify_all();
+    hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Engine; });
+  }
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Process::yield_to_engine() {
+  std::unique_lock lk(hs_->m);
+  hs_->turn = Handshake::Turn::Engine;
+  hs_->cv.notify_all();
+  hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Process; });
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Process::finish_from_thread() noexcept {
+  std::unique_lock lk(hs_->m);
+  state_ = State::Finished;
+  hs_->thread_done = true;
+  hs_->turn = Handshake::Turn::Engine;
+  hs_->cv.notify_all();
+}
+
+void Process::wake() {
+  if (state_ == State::Finished) return;
+  if (state_ == State::Waiting) {
+    wake_pending_ = true;
+    engine_.schedule_resume(*this);
+  } else {
+    wake_pending_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+void Context::delay(Duration d) {
+  DEEP_EXPECT(d.ps >= 0, "Context::delay: negative duration");
+  Process& p = *process_;
+  p.state_ = Process::State::Sleeping;
+  engine_->schedule_in(d, [&p] {
+    // A sleep expiry resumes unconditionally (it is not a wake()).
+    p.state_ = Process::State::Runnable;
+    p.run_slice();
+  });
+  p.yield_to_engine();
+  p.state_ = Process::State::Runnable;
+}
+
+void Context::suspend() {
+  Process& p = *process_;
+  if (p.wake_pending_) {
+    p.wake_pending_ = false;
+    return;
+  }
+  p.state_ = Process::State::Waiting;
+  p.yield_to_engine();
+  p.state_ = Process::State::Runnable;
+  p.wake_pending_ = false;
+}
+
+bool Context::killed() const { return process_->kill_requested_; }
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::~Engine() { kill_all_unfinished(); }
+
+void Engine::schedule_at(TimePoint t, std::function<void()> fn) {
+  DEEP_EXPECT(t >= now_, "Engine::schedule_at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(Duration d, std::function<void()> fn) {
+  schedule_at(now_ + d, std::move(fn));
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, next_proc_id_++, std::move(name), std::move(body)));
+  Process& p = *proc;
+  processes_.push_back(std::move(proc));
+  p.start_thread();
+  p.state_ = Process::State::Runnable;
+  p.resume_scheduled_ = true;
+  schedule_at(now_, [&p] { p.run_slice(); });
+  return p;
+}
+
+void Engine::schedule_resume(Process& p) {
+  if (p.resume_scheduled_) return;
+  p.resume_scheduled_ = true;
+  schedule_at(now_, [&p] {
+    if (p.state_ == Process::State::Waiting) {
+      p.state_ = Process::State::Runnable;
+      p.run_slice();
+    } else {
+      // The process got resumed by other means (e.g. sleep expiry) before
+      // this event fired; the latched wake_pending_ covers it.
+      p.resume_scheduled_ = false;
+    }
+  });
+}
+
+void Engine::dispatch_one() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++events_executed_;
+  ev.fn();
+}
+
+void Engine::run() {
+  DEEP_EXPECT(!running_, "Engine::run: already running");
+  running_ = true;
+  while (!queue_.empty()) dispatch_one();
+  running_ = false;
+  check_deadlock_or_finish();
+  kill_all_unfinished();
+}
+
+bool Engine::run_until(TimePoint t) {
+  DEEP_EXPECT(!running_, "Engine::run_until: already running");
+  running_ = true;
+  while (!queue_.empty() && queue_.top().t <= t) dispatch_one();
+  running_ = false;
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+void Engine::check_deadlock_or_finish() {
+  std::ostringstream stuck;
+  bool deadlock = false;
+  for (const auto& p : processes_) {
+    if (p->finished() || p->daemon()) continue;
+    deadlock = true;
+    stuck << ' ' << p->name() << "(id=" << p->id() << ')';
+  }
+  if (deadlock) {
+    kill_all_unfinished();
+    throw util::SimError(
+        "simulation deadlock: event queue empty but processes still waiting:" +
+        stuck.str());
+  }
+}
+
+void Engine::kill_all_unfinished() {
+  for (const auto& p : processes_) {
+    if (p->finished() || !p->hs_->thread_started) continue;
+    p->kill_requested_ = true;
+    // Hand the thread one final slice so yield_to_engine() throws
+    // ProcessKilled and the stack unwinds.
+    p->state_ = Process::State::Runnable;
+    p->run_slice();
+    DEEP_ASSERT(p->finished(), "kill: process failed to unwind");
+  }
+}
+
+}  // namespace deep::sim

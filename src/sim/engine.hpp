@@ -1,0 +1,200 @@
+#pragma once
+// Discrete-event simulation engine with cooperative actor processes.
+//
+// Model
+// -----
+// The engine owns a priority queue of (time, sequence, callback) events and a
+// set of Processes.  Each Process runs user code on its own OS thread, but a
+// strict hand-shake guarantees that at any instant exactly ONE thread — the
+// engine or a single process — is executing.  Together with the sequence-
+// number tie-break this makes every simulation fully deterministic.
+//
+// Blocking primitives available to process code (via Context):
+//   * delay(d)   — advance this process's local time by exactly d,
+//   * suspend()  — park until some event calls Process::wake(),
+//   * engine().schedule_in(...) — plain event callbacks (run on the engine).
+//
+// wake() on a running/sleeping process is remembered (binary semaphore), so
+// the canonical wait loop `while (!pred()) ctx.suspend();` never loses a
+// notification.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace deep::sim {
+
+class Engine;
+class Process;
+class Tracer;
+
+/// Handle passed to process bodies; the only way user code talks to the
+/// engine from inside a process.
+class Context {
+ public:
+  Context(Engine& engine, Process& process)
+      : engine_(&engine), process_(&process) {}
+
+  Engine& engine() const { return *engine_; }
+  Process& process() const { return *process_; }
+
+  TimePoint now() const;
+
+  /// Advances this process's local time by exactly `d`.  Other events run in
+  /// between; wake() calls received while sleeping are remembered.
+  void delay(Duration d);
+
+  /// Parks until Process::wake() is called (returns immediately if a wake is
+  /// already pending).  Use in a predicate re-check loop.
+  void suspend();
+
+  /// Cooperative cancellation: true once the engine asked us to die.
+  bool killed() const;
+
+ private:
+  Engine* engine_;
+  Process* process_;
+};
+
+/// Thrown inside a process body when the engine tears it down; the process
+/// trampoline catches it.  Do not catch it in user code.
+struct ProcessKilled {};
+
+/// A simulated sequential activity (an MPI rank, an OmpSs worker, a device
+/// engine).  Created via Engine::spawn(); lifetime managed by the engine.
+class Process {
+ public:
+  enum class State {
+    Created,   // spawned, body not yet entered
+    Runnable,  // has a resume event queued (or is currently running)
+    Sleeping,  // inside delay()
+    Waiting,   // inside suspend()
+    Finished,  // body returned or threw
+  };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::Finished; }
+
+  /// Marks this process as a daemon: the simulation is allowed to end while
+  /// it is still waiting (it is then torn down gracefully).
+  void set_daemon(bool daemon) { daemon_ = daemon; }
+  bool daemon() const { return daemon_; }
+
+  /// Delivers a wake-up.  If the process is Waiting it becomes runnable at
+  /// the current virtual time; otherwise the wake is latched for its next
+  /// suspend().  Safe to call multiple times (wakes collapse).
+  void wake();
+
+ private:
+  friend class Engine;
+  friend class Context;
+
+  Process(Engine& engine, std::uint64_t id, std::string name,
+          std::function<void(Context&)> body);
+
+  void start_thread();
+  // Hand-shake: engine -> process.
+  void run_slice();
+  // Hand-shake: process -> engine (called from the process thread).
+  void yield_to_engine();
+  void finish_from_thread() noexcept;
+
+  Engine& engine_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void(Context&)> body_;
+
+  State state_ = State::Created;
+  bool wake_pending_ = false;
+  bool resume_scheduled_ = false;
+  bool kill_requested_ = false;
+  bool daemon_ = false;
+
+  // Hand-shake machinery; `turn_` says whose move it is.
+  struct Handshake;
+  std::unique_ptr<Handshake> hs_;
+  std::exception_ptr error_;
+};
+
+/// The discrete-event engine.  Not thread-safe by design: all interaction
+/// happens from the engine thread or from the single running process.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  void schedule_at(TimePoint t, std::function<void()> fn);
+  /// Schedules `fn` to run `d` from now.
+  void schedule_in(Duration d, std::function<void()> fn);
+
+  /// Creates a process; its body starts executing at the current time (or at
+  /// simulation start).  The returned reference stays valid for the lifetime
+  /// of the engine.
+  Process& spawn(std::string name, std::function<void(Context&)> body);
+
+  /// Runs until the event queue is empty.  Throws SimError on deadlock
+  /// (non-daemon processes still waiting with no pending events) and
+  /// propagates the first exception escaping any process body.
+  void run();
+
+  /// Runs until `t` (events at exactly `t` included); returns true if events
+  /// remain afterwards.
+  bool run_until(TimePoint t);
+
+  std::size_t num_processes() const { return processes_.size(); }
+  std::size_t events_executed() const { return events_executed_; }
+
+  /// Attaches (or detaches, with nullptr) an execution tracer.  The engine
+  /// does not own it; instrumented layers record spans when one is present.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  friend class Process;
+  friend class Context;
+
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void dispatch_one();
+  void schedule_resume(Process& p);
+  void check_deadlock_or_finish();
+  void kill_all_unfinished();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_proc_id_ = 0;
+  std::size_t events_executed_ = 0;
+  bool running_ = false;
+  Tracer* tracer_ = nullptr;
+};
+
+inline TimePoint Context::now() const { return engine_->now(); }
+
+}  // namespace deep::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Typed blocking mailbox connecting events/processes to a consuming process.
+//
+// push() may be called from anywhere (event callbacks, other processes);
+// receive() must be called from the single consuming process, which blocks in
+// virtual time until an item is available.
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace deep::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues an item and wakes the consumer if it is blocked in receive().
+  void push(T item) {
+    queue_.push_back(std::move(item));
+    if (consumer_ != nullptr) consumer_->wake();
+  }
+
+  /// Blocks the calling process until an item arrives, then returns it.
+  T receive(Context& ctx) {
+    claim_consumer(ctx);
+    while (queue_.empty()) ctx.suspend();
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking: returns the next item if one is queued.
+  std::optional<T> try_receive(Context& ctx) {
+    claim_consumer(ctx);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  void claim_consumer(Context& ctx) {
+    if (consumer_ == nullptr) consumer_ = &ctx.process();
+    DEEP_EXPECT(consumer_ == &ctx.process(),
+                "Mailbox: single-consumer only; second process tried to receive");
+  }
+
+  std::deque<T> queue_;
+  Process* consumer_ = nullptr;
+};
+
+}  // namespace deep::sim

@@ -1,0 +1,97 @@
+#pragma once
+// Virtual time for the discrete-event engine.
+//
+// Time is held as an integer count of picoseconds.  Integer arithmetic keeps
+// event ordering exact and simulations bit-reproducible across platforms;
+// 2^63 ps is ~106 days of simulated time, far beyond any experiment here.
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace deep::sim {
+
+/// A span of virtual time (may be zero; never negative in normal use).
+struct Duration {
+  std::int64_t ps = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {ps + o.ps}; }
+  constexpr Duration operator-(Duration o) const { return {ps - o.ps}; }
+  constexpr Duration& operator+=(Duration o) {
+    ps += o.ps;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ps -= o.ps;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const { return {ps * k}; }
+
+  constexpr double seconds() const { return static_cast<double>(ps) * 1e-12; }
+  constexpr double millis() const { return static_cast<double>(ps) * 1e-9; }
+  constexpr double micros() const { return static_cast<double>(ps) * 1e-6; }
+  constexpr double nanos() const { return static_cast<double>(ps) * 1e-3; }
+
+  std::string str() const;
+};
+
+/// An absolute point on the virtual-time axis.
+struct TimePoint {
+  std::int64_t ps = 0;
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return {ps + d.ps}; }
+  constexpr TimePoint operator-(Duration d) const { return {ps - d.ps}; }
+  constexpr Duration operator-(TimePoint o) const { return {ps - o.ps}; }
+
+  constexpr double seconds() const { return static_cast<double>(ps) * 1e-12; }
+  constexpr double micros() const { return static_cast<double>(ps) * 1e-6; }
+
+  std::string str() const;
+};
+
+constexpr Duration picoseconds(std::int64_t v) { return {v}; }
+constexpr Duration nanoseconds(std::int64_t v) { return {v * 1000}; }
+constexpr Duration microseconds(std::int64_t v) { return {v * 1000 * 1000}; }
+constexpr Duration milliseconds(std::int64_t v) {
+  return {v * 1000 * 1000 * 1000};
+}
+constexpr Duration seconds_i(std::int64_t v) {
+  return {v * 1000 * 1000 * 1000 * 1000};
+}
+
+/// Converts a floating-point duration in seconds, rounding up so that a
+/// positive physical duration never becomes a zero virtual duration.
+constexpr Duration from_seconds(double sec) {
+  const double ps = sec * 1e12;
+  const auto floor_ps = static_cast<std::int64_t>(ps);
+  return {ps > static_cast<double>(floor_ps) ? floor_ps + 1 : floor_ps};
+}
+
+constexpr Duration from_micros(double us) { return from_seconds(us * 1e-6); }
+constexpr Duration from_nanos(double ns) { return from_seconds(ns * 1e-9); }
+
+inline std::string Duration::str() const {
+  char buf[48];
+  const double abs_ps = ps < 0 ? -static_cast<double>(ps) : static_cast<double>(ps);
+  if (abs_ps < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps));
+  } else if (abs_ps < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", nanos());
+  } else if (abs_ps < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f us", micros());
+  } else if (abs_ps < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f s", seconds());
+  }
+  return buf;
+}
+
+inline std::string TimePoint::str() const { return Duration{ps}.str(); }
+
+}  // namespace deep::sim

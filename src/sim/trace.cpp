@@ -1,0 +1,104 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deep::sim {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t Tracer::track_id(const std::string& track) {
+  const auto it = std::find(tracks_.begin(), tracks_.end(), track);
+  if (it != tracks_.end())
+    return static_cast<std::uint32_t>(it - tracks_.begin());
+  tracks_.push_back(track);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::span(const std::string& track, const std::string& name,
+                  TimePoint begin, TimePoint end, const std::string& category) {
+  DEEP_EXPECT(end >= begin, "Tracer::span: end before begin");
+  events_.push_back(
+      Event{track_id(track), name, category, begin.ps, (end - begin).ps});
+}
+
+void Tracer::instant(const std::string& track, const std::string& name,
+                     TimePoint t, const std::string& category) {
+  events_.push_back(Event{track_id(track), name, category, t.ps, -1});
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata gives every track a readable label.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << escape(tracks_[i]) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    // Chrome expects microseconds; keep fractional precision.
+    const double ts = static_cast<double>(e.begin_ps) * 1e-6;
+    os << "{\"name\":\"" << escape(e.name) << "\",\"cat\":\""
+       << escape(e.category.empty() ? "sim" : e.category)
+       << "\",\"pid\":1,\"tid\":" << e.track << ",\"ts\":" << ts;
+    if (e.dur_ps < 0) {
+      os << ",\"ph\":\"i\",\"s\":\"t\"}";
+    } else {
+      os << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(e.dur_ps) * 1e-6
+         << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw util::SimError("Tracer: cannot open '" + path + "'");
+  file << to_chrome_json();
+  if (!file) throw util::SimError("Tracer: write to '" + path + "' failed");
+}
+
+}  // namespace deep::sim

@@ -1,0 +1,55 @@
+#pragma once
+// Execution tracing.
+//
+// A Tracer records spans (named intervals on a named track) and instant
+// events during a simulation and exports them in the Chrome trace-event
+// format, loadable in chrome://tracing or Perfetto.  Tracks map naturally to
+// nodes/processes: compute bursts, OmpSs tasks and message deliveries each
+// show up on their own timeline.
+//
+// Attach a Tracer to the Engine (engine.set_tracer) and the instrumented
+// layers (hw::Node::compute, ompss::Runtime, net::Fabric) record into it;
+// tracing costs nothing when no tracer is attached.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace deep::sim {
+
+class Tracer {
+ public:
+  /// Records a completed interval [begin, end] on `track`.
+  void span(const std::string& track, const std::string& name,
+            TimePoint begin, TimePoint end, const std::string& category = "");
+
+  /// Records a point event.
+  void instant(const std::string& track, const std::string& name, TimePoint t,
+               const std::string& category = "");
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Renders the Chrome trace-event JSON document.
+  std::string to_chrome_json() const;
+
+  /// Writes the JSON to a file; throws util::SimError on I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::uint32_t track;
+    std::string name;
+    std::string category;
+    std::int64_t begin_ps;
+    std::int64_t dur_ps;  // <0 marks an instant event
+  };
+
+  std::uint32_t track_id(const std::string& track);
+
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace deep::sim

@@ -1,0 +1,71 @@
+#pragma once
+// AcceleratedCluster: the baseline architecture the paper argues against
+// (slides 6-7): a flat InfiniBand cluster where every node owns a GPU that
+// hangs off its host across PCIe.  Accelerators are statically assigned,
+// cannot talk to the network themselves, and every offload is staged
+// through host memory.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbp/transport.hpp"
+#include "hw/gpu.hpp"
+#include "hw/node.hpp"
+#include "mpi/mpi.hpp"
+#include "net/crossbar.hpp"
+#include "sim/engine.hpp"
+#include "sys/system.hpp"
+
+namespace deep::sys {
+
+struct AcceleratedConfig {
+  int nodes = 8;
+  hw::NodeSpec host_spec = hw::xeon_cluster_node();
+  hw::NodeSpec gpu_spec = hw::kepler_gpu_device();
+  hw::PcieModel pcie;
+  net::CrossbarParams ib;
+  mpi::MpiParams mpi;
+};
+
+/// Rank-program environment of the baseline system.
+struct AccelProgramEnv {
+  mpi::Mpi& mpi;
+  std::vector<std::string> args;
+  hw::GpuDevice& gpu;  // the GPU statically assigned to this rank's node
+};
+
+using AccelProgram = std::function<void(AccelProgramEnv&)>;
+
+class AcceleratedCluster {
+ public:
+  explicit AcceleratedCluster(AcceleratedConfig config);
+  ~AcceleratedCluster();
+  AcceleratedCluster(const AcceleratedCluster&) = delete;
+  AcceleratedCluster& operator=(const AcceleratedCluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const AcceleratedConfig& config() const { return config_; }
+  hw::Node& host(int i);
+  hw::GpuDevice& gpu(int i);
+
+  /// Starts `nprocs` ranks of `program`, one per node round-robin.
+  JobHandle launch(AccelProgram program, int nprocs,
+                   std::vector<std::string> args = {});
+
+  void run() { engine_.run(); }
+
+  /// Total joules drawn by hosts + GPUs until now, and flops done.
+  EnergyReport energy() const;
+
+ private:
+  AcceleratedConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<net::CrossbarFabric> ib_;
+  std::unique_ptr<cbp::DirectTransport> transport_;
+  std::unique_ptr<mpi::MpiSystem> mpi_;
+  std::vector<std::unique_ptr<hw::Node>> hosts_;
+  std::vector<std::unique_ptr<hw::GpuDevice>> gpus_;
+};
+
+}  // namespace deep::sys

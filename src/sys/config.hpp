@@ -1,0 +1,49 @@
+#pragma once
+// System-level configuration of a simulated DEEP machine.
+
+#include <array>
+
+#include "cbp/gateway.hpp"
+#include "hw/spec.hpp"
+#include "mpi/system.hpp"
+#include "net/crossbar.hpp"
+#include "net/torus.hpp"
+#include "sim/time.hpp"
+
+namespace deep::sys {
+
+/// Booster allocation policy of the resource manager (slide 21: "resources
+/// managed statically or dynamically").
+enum class AllocPolicy {
+  Dynamic,          // one shared pool; any free booster node can serve anyone
+  StaticPartition,  // pool pre-divided into fixed partitions per consumer
+};
+
+struct SystemConfig {
+  int cluster_nodes = 8;
+  int booster_nodes = 16;
+  int gateways = 2;
+
+  hw::NodeSpec cluster_spec = hw::xeon_cluster_node();
+  hw::NodeSpec booster_spec = hw::knc_booster_node();
+  hw::NodeSpec gateway_spec = hw::gateway_node();
+
+  net::CrossbarParams ib;
+  net::TorusParams extoll;  // dims auto-derived when left {0,0,0}
+  cbp::BridgeParams bridge;
+  mpi::MpiParams mpi;
+
+  AllocPolicy alloc_policy = AllocPolicy::Dynamic;
+  int static_partitions = 0;  // used with StaticPartition; 0 = cluster_nodes
+
+  // Process start-up model for comm_spawn (ParaStation-style tree startup).
+  sim::Duration rm_latency = sim::from_micros(200);     // allocation decision
+  sim::Duration launch_base = sim::from_micros(500);    // exec + MPI init
+  sim::Duration launch_per_level = sim::from_micros(50);  // startup tree depth
+  sim::Duration launch_stagger = sim::from_micros(2);   // per-process skew
+};
+
+/// Derives a reasonably cubic torus for `n` booster nodes (plus gateways).
+std::array<int, 3> derive_torus_dims(int n);
+
+}  // namespace deep::sys

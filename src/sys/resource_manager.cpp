@@ -1,0 +1,100 @@
+#include "sys/resource_manager.hpp"
+
+#include <algorithm>
+
+namespace deep::sys {
+
+ResourceManager::ResourceManager(sim::Engine& engine,
+                                 std::vector<hw::NodeId> booster_nodes,
+                                 AllocPolicy policy, int partition_count)
+    : engine_(&engine), policy_(policy), partitions_(partition_count) {
+  DEEP_EXPECT(!booster_nodes.empty(), "ResourceManager: empty booster pool");
+  DEEP_EXPECT(partition_count >= 1, "ResourceManager: bad partition count");
+  owner_.reserve(booster_nodes.size());
+  const int n = static_cast<int>(booster_nodes.size());
+  for (int i = 0; i < n; ++i) {
+    // Contiguous partitioning: first n/P nodes to partition 0, and so on.
+    const int partition =
+        policy == AllocPolicy::StaticPartition ? i * partition_count / n : 0;
+    owner_.push_back(Slot{booster_nodes[static_cast<std::size_t>(i)], partition,
+                          false});
+  }
+}
+
+void ResourceManager::account() {
+  const sim::TimePoint now = engine_->now();
+  busy_node_seconds_ += (now - last_change_).seconds() * busy_count_;
+  last_change_ = now;
+}
+
+std::optional<std::vector<hw::NodeId>> ResourceManager::allocate(
+    int n, int partition_key) {
+  DEEP_EXPECT(n > 0, "ResourceManager::allocate: need at least one node");
+  const int partition = policy_ == AllocPolicy::StaticPartition
+                            ? partition_key % partitions_
+                            : 0;
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < owner_.size() && static_cast<int>(picks.size()) < n;
+       ++i) {
+    if (!owner_[i].busy && !owner_[i].failed && owner_[i].partition == partition)
+      picks.push_back(i);
+  }
+  if (static_cast<int>(picks.size()) < n) {
+    ++failed_;
+    return std::nullopt;
+  }
+  account();
+  std::vector<hw::NodeId> nodes;
+  nodes.reserve(picks.size());
+  for (const std::size_t i : picks) {
+    owner_[i].busy = true;
+    nodes.push_back(owner_[i].node);
+  }
+  busy_count_ += n;
+  ++allocations_;
+  return nodes;
+}
+
+void ResourceManager::release(const std::vector<hw::NodeId>& nodes) {
+  account();
+  for (const hw::NodeId node : nodes) {
+    auto it = std::find_if(owner_.begin(), owner_.end(), [node](const Slot& s) {
+      return s.node == node;
+    });
+    DEEP_EXPECT(it != owner_.end(), "ResourceManager::release: unknown node");
+    DEEP_EXPECT(it->busy, "ResourceManager::release: node was not allocated");
+    it->busy = false;
+    --busy_count_;
+  }
+}
+
+ResourceManager::Slot& ResourceManager::slot_of(hw::NodeId node) {
+  auto it = std::find_if(owner_.begin(), owner_.end(),
+                         [node](const Slot& s) { return s.node == node; });
+  DEEP_EXPECT(it != owner_.end(), "ResourceManager: unknown node");
+  return *it;
+}
+
+void ResourceManager::mark_failed(hw::NodeId node) {
+  slot_of(node).failed = true;
+}
+
+void ResourceManager::mark_repaired(hw::NodeId node) {
+  slot_of(node).failed = false;
+}
+
+int ResourceManager::nodes_out_of_service() const {
+  int n = 0;
+  for (const Slot& s : owner_) n += s.failed ? 1 : 0;
+  return n;
+}
+
+double ResourceManager::utilisation() const {
+  const double t = engine_->now().seconds();
+  if (t <= 0.0) return 0.0;
+  const double integral =
+      busy_node_seconds_ + (engine_->now() - last_change_).seconds() * busy_count_;
+  return integral / (t * static_cast<double>(owner_.size()));
+}
+
+}  // namespace deep::sys

@@ -1,0 +1,73 @@
+#pragma once
+// ParaStation-style booster resource manager.
+//
+// Tracks which booster nodes are free, serves allocation requests from
+// comm_spawn, and records time-weighted utilisation.  Two policies (slide
+// 21): a Dynamic shared pool, and StaticPartition, which pre-divides the
+// booster among a fixed number of consumers the way host-attached
+// accelerators are statically assigned in a conventional cluster.
+
+#include <optional>
+#include <vector>
+
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "sys/config.hpp"
+#include "util/error.hpp"
+
+namespace deep::sys {
+
+class ResourceManager {
+ public:
+  /// `partition_count` is only meaningful for StaticPartition.
+  ResourceManager(sim::Engine& engine, std::vector<hw::NodeId> booster_nodes,
+                  AllocPolicy policy, int partition_count = 1);
+
+  /// Allocates `n` booster nodes.  `partition_key` selects the partition
+  /// under StaticPartition (e.g. the requesting job or cluster node id) and
+  /// is ignored under Dynamic.  Returns std::nullopt if not satisfiable.
+  std::optional<std::vector<hw::NodeId>> allocate(int n, int partition_key = 0);
+
+  /// Returns nodes to the pool.
+  void release(const std::vector<hw::NodeId>& nodes);
+
+  AllocPolicy policy() const { return policy_; }
+  int total_nodes() const { return static_cast<int>(owner_.size()); }
+  int busy_nodes() const { return busy_count_; }
+  std::int64_t allocations() const { return allocations_; }
+  std::int64_t failed_allocations() const { return failed_; }
+
+  /// RAS: removes a node from service.  A busy node stays assigned to its
+  /// current job (the failure surfaces there) but is never handed out again
+  /// until mark_repaired().
+  void mark_failed(hw::NodeId node);
+  void mark_repaired(hw::NodeId node);
+  int nodes_out_of_service() const;
+
+  /// Time-weighted busy fraction of the booster from t=0 until now.
+  double utilisation() const;
+
+ private:
+  struct Slot {
+    hw::NodeId node;
+    int partition;
+    bool busy = false;
+    bool failed = false;
+  };
+
+  Slot& slot_of(hw::NodeId node);
+
+  void account();  // folds the interval since last change into the integral
+
+  sim::Engine* engine_;
+  std::vector<Slot> owner_;
+  AllocPolicy policy_;
+  int partitions_ = 1;
+  int busy_count_ = 0;
+  std::int64_t allocations_ = 0;
+  std::int64_t failed_ = 0;
+  double busy_node_seconds_ = 0.0;
+  sim::TimePoint last_change_{};
+};
+
+}  // namespace deep::sys

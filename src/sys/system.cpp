@@ -1,0 +1,306 @@
+#include "sys/system.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace deep::sys {
+
+// ---------------------------------------------------------------------------
+// ProgramRegistry
+// ---------------------------------------------------------------------------
+
+void ProgramRegistry::add(std::string name, Program program) {
+  DEEP_EXPECT(static_cast<bool>(program), "ProgramRegistry: empty program");
+  const auto [it, inserted] =
+      programs_.emplace(std::move(name), std::move(program));
+  DEEP_EXPECT(inserted, "ProgramRegistry: program already registered");
+}
+
+const Program& ProgramRegistry::get(const std::string& name) const {
+  auto it = programs_.find(name);
+  DEEP_EXPECT(it != programs_.end(),
+              "ProgramRegistry: unknown program '" + name + "'");
+  return it->second;
+}
+
+bool ProgramRegistry::contains(const std::string& name) const {
+  return programs_.contains(name);
+}
+
+// ---------------------------------------------------------------------------
+// DeepSystem construction
+// ---------------------------------------------------------------------------
+
+std::array<int, 3> derive_torus_dims(int n) {
+  DEEP_EXPECT(n >= 1, "derive_torus_dims: need at least one node");
+  // Smallest near-cubic box with capacity >= n.
+  int x = 1, y = 1, z = 1;
+  while (x * y * z < n) {
+    if (x <= y && x <= z)
+      ++x;
+    else if (y <= z)
+      ++y;
+    else
+      ++z;
+  }
+  return {x, y, z};
+}
+
+DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
+  DEEP_EXPECT(config_.cluster_nodes >= 1, "DeepSystem: need cluster nodes");
+  DEEP_EXPECT(config_.booster_nodes >= 1, "DeepSystem: need booster nodes");
+  DEEP_EXPECT(config_.gateways >= 1, "DeepSystem: need at least one gateway");
+
+  net::TorusParams torus = config_.extoll;
+  const int torus_capacity = torus.dims[0] * torus.dims[1] * torus.dims[2];
+  if (torus.dims == std::array<int, 3>{0, 0, 0} ||
+      torus_capacity < config_.booster_nodes + config_.gateways) {
+    torus.dims = derive_torus_dims(config_.booster_nodes + config_.gateways);
+  }
+
+  ib_ = std::make_unique<net::CrossbarFabric>(engine_, "infiniband", config_.ib);
+  extoll_ = std::make_unique<net::TorusFabric>(engine_, "extoll", torus);
+  bridge_ = std::make_unique<cbp::BridgedTransport>(engine_, *ib_, *extoll_,
+                                                    config_.bridge);
+  mpi_ = std::make_unique<mpi::MpiSystem>(engine_, *bridge_, config_.mpi);
+
+  hw::NodeId next = 0;
+  for (int i = 0; i < config_.cluster_nodes; ++i, ++next) {
+    nodes_.push_back(std::make_unique<hw::Node>(
+        next, "cn" + std::to_string(i), config_.cluster_spec));
+    ib_->attach(next);
+    bridge_->register_cluster_node(next);
+    cluster_ids_.push_back(next);
+  }
+  for (int i = 0; i < config_.booster_nodes; ++i, ++next) {
+    nodes_.push_back(std::make_unique<hw::Node>(
+        next, "bn" + std::to_string(i), config_.booster_spec));
+    extoll_->attach(next);
+    bridge_->register_booster_node(next);
+    booster_ids_.push_back(next);
+  }
+  for (int i = 0; i < config_.gateways; ++i, ++next) {
+    nodes_.push_back(std::make_unique<hw::Node>(
+        next, "bi" + std::to_string(i), config_.gateway_spec));
+    ib_->attach(next);
+    extoll_->attach(next);
+    bridge_->register_gateway(next);
+    gateway_ids_.push_back(next);
+  }
+
+  const int partitions = config_.alloc_policy == AllocPolicy::StaticPartition
+                             ? (config_.static_partitions > 0
+                                    ? config_.static_partitions
+                                    : config_.cluster_nodes)
+                             : 1;
+  rm_ = std::make_unique<ResourceManager>(engine_, booster_ids_,
+                                          config_.alloc_policy, partitions);
+
+  mpi_->set_spawner([this](const mpi::SpawnRequest& request) {
+    return spawn_children(request);
+  });
+}
+
+DeepSystem::~DeepSystem() = default;
+
+hw::Node& DeepSystem::cluster_node(int i) {
+  DEEP_EXPECT(i >= 0 && i < static_cast<int>(cluster_ids_.size()),
+              "cluster_node: index out of range");
+  return *nodes_[static_cast<std::size_t>(cluster_ids_[static_cast<std::size_t>(i)])];
+}
+
+hw::Node& DeepSystem::booster_node(int i) {
+  DEEP_EXPECT(i >= 0 && i < static_cast<int>(booster_ids_.size()),
+              "booster_node: index out of range");
+  return *nodes_[static_cast<std::size_t>(booster_ids_[static_cast<std::size_t>(i)])];
+}
+
+hw::Node& DeepSystem::node(hw::NodeId id) {
+  DEEP_EXPECT(id >= 0 && id < static_cast<hw::NodeId>(nodes_.size()),
+              "node: id out of range");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+// ---------------------------------------------------------------------------
+// Launch & spawn
+// ---------------------------------------------------------------------------
+
+void DeepSystem::start_rank_process(
+    const std::string& program_name, std::vector<std::string> args,
+    hw::NodeId node_id, mpi::EpId ep, const mpi::MpiSystem::World& world,
+    int rank, sim::Duration start_delay,
+    std::shared_ptr<JobHandle::State> job,
+    std::shared_ptr<mpi::IntercommState> parent_proto, mpi::EpAddr ready_to) {
+  const Program& program = programs_.get(program_name);
+  engine_.schedule_in(start_delay, [this, program_name, args = std::move(args),
+                                    node_id, ep, world, rank, job,
+                                    parent_proto, ready_to, &program] {
+    engine_.spawn(
+        program_name + "." + std::to_string(rank),
+        [this, args, node_id, ep, world, rank, job, parent_proto, ready_to,
+         &program](sim::Context& ctx) {
+          auto comm_state = std::make_shared<mpi::CommState>();
+          comm_state->ctx_p2p = world.ctx_p2p;
+          comm_state->ctx_coll = world.ctx_coll;
+          comm_state->group = world.group;
+          comm_state->rank = rank;
+
+          std::optional<mpi::Intercomm> parent;
+          if (parent_proto) {
+            auto st = std::make_shared<mpi::IntercommState>(*parent_proto);
+            st->rank = rank;
+            parent = mpi::Intercomm(std::move(st));
+          }
+
+          mpi::Mpi mpi(*mpi_, ctx, node(node_id), mpi_->endpoint(ep),
+                       mpi::Comm(std::move(comm_state)), std::move(parent));
+
+          if (parent_proto) {
+            // Report readiness to the spawn root (MPI_Comm_spawn returns
+            // once all children are up).
+            mpi_->endpoint(ep).start_send(ready_to, parent_proto->context,
+                                          rank, mpi::kReadyTag, {});
+          }
+
+          ProgramEnv env{mpi, args, this};
+          program(env);
+
+          job->remaining -= 1;
+          if (job->remaining == 0) {
+            job->finished_at = ctx.now();
+            if (job->on_done) job->on_done();
+          }
+        });
+  });
+}
+
+JobHandle DeepSystem::launch(const std::string& name, int nprocs,
+                             std::vector<std::string> args) {
+  DEEP_EXPECT(nprocs >= 1, "launch: need at least one process");
+  DEEP_EXPECT(programs_.contains(name), "launch: program not registered");
+
+  std::vector<hw::NodeId> placement;
+  placement.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    placement.push_back(
+        cluster_ids_[static_cast<std::size_t>((next_cluster_rr_ + i) %
+                                              config_.cluster_nodes)]);
+  }
+  next_cluster_rr_ = (next_cluster_rr_ + nprocs) % config_.cluster_nodes;
+
+  const mpi::MpiSystem::World world = mpi_->create_world(placement);
+  JobHandle handle;
+  handle.state_->total = nprocs;
+  handle.state_->remaining = nprocs;
+  for (int r = 0; r < nprocs; ++r) {
+    start_rank_process(name, args, placement[static_cast<std::size_t>(r)],
+                       world.group->members[static_cast<std::size_t>(r)].ep,
+                       world, r, sim::Duration{0}, handle.state_, nullptr, {});
+  }
+  return handle;
+}
+
+mpi::SpawnResult DeepSystem::spawn_children(const mpi::SpawnRequest& request) {
+  DEEP_EXPECT(programs_.contains(request.command),
+              "comm_spawn: program '" + request.command + "' not registered");
+
+  int partition_key = 0;
+  if (auto it = request.info.find("deep_partition"); it != request.info.end())
+    partition_key = std::stoi(it->second);
+  int ranks_per_node = 1;
+  if (auto it = request.info.find("deep_ranks_per_node");
+      it != request.info.end()) {
+    ranks_per_node = std::stoi(it->second);
+    DEEP_EXPECT(ranks_per_node >= 1 &&
+                    ranks_per_node <= config_.booster_spec.cores,
+                "comm_spawn: deep_ranks_per_node out of range");
+  }
+
+  const int nodes_needed =
+      (request.maxprocs + ranks_per_node - 1) / ranks_per_node;
+  const auto allocation = rm_->allocate(nodes_needed, partition_key);
+  if (!allocation) {
+    mpi::SpawnResult failure;
+    failure.errcodes.assign(static_cast<std::size_t>(request.maxprocs), 1);
+    util::log_info("spawn of '", request.command, "' x", request.maxprocs,
+                   " failed: booster exhausted");
+    return failure;
+  }
+
+  // Per-rank placement: consecutive ranks share a node (block placement, as
+  // ParaStation fills nodes).
+  std::vector<hw::NodeId> placement;
+  placement.reserve(static_cast<std::size_t>(request.maxprocs));
+  for (int r = 0; r < request.maxprocs; ++r)
+    placement.push_back(
+        (*allocation)[static_cast<std::size_t>(r / ranks_per_node)]);
+
+  const mpi::MpiSystem::World world = mpi_->create_world(placement);
+  const mpi::ContextId inter_ctx = mpi_->fresh_context_block();
+
+  auto parent_proto = std::make_shared<mpi::IntercommState>();
+  parent_proto->context = inter_ctx;
+  parent_proto->local = world.group;
+  parent_proto->remote = request.parents;
+  parent_proto->low_side = false;  // children are the high group
+
+  const mpi::EpAddr ready_to{request.root_ep,
+                             mpi_->endpoint(request.root_ep).node()};
+
+  // Job bookkeeping: when the last child exits, booster nodes go back to
+  // the pool.
+  JobHandle handle;
+  handle.state_->total = request.maxprocs;
+  handle.state_->remaining = request.maxprocs;
+  handle.state_->on_done = [this, nodes = *allocation] { rm_->release(nodes); };
+
+  // ParaStation-style tree start-up: constant RM decision + exec cost, a
+  // per-tree-level latency, and a small per-process stagger.
+  const int levels = std::bit_width(static_cast<unsigned>(request.maxprocs));
+  for (int r = 0; r < request.maxprocs; ++r) {
+    const sim::Duration delay = config_.rm_latency + config_.launch_base +
+                                config_.launch_per_level * levels +
+                                config_.launch_stagger * r;
+    start_rank_process(request.command, request.args,
+                       placement[static_cast<std::size_t>(r)],
+                       world.group->members[static_cast<std::size_t>(r)].ep,
+                       world, r, delay, handle.state_, parent_proto, ready_to);
+  }
+
+  mpi::SpawnResult result;
+  result.children = world.group;
+  result.intercomm_context = inter_ctx;
+  result.errcodes.assign(static_cast<std::size_t>(request.maxprocs), 0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Energy
+// ---------------------------------------------------------------------------
+
+EnergyReport DeepSystem::energy() const {
+  EnergyReport report;
+  const sim::Duration elapsed{engine_.now().ps};
+  for (const auto& node : nodes_) {
+    const double joules = node->meter().joules(elapsed);
+    switch (node->kind()) {
+      case hw::NodeKind::Cluster:
+        report.cluster_joules += joules;
+        break;
+      case hw::NodeKind::Booster:
+        report.booster_joules += joules;
+        break;
+      case hw::NodeKind::Gateway:
+        report.gateway_joules += joules;
+        break;
+      case hw::NodeKind::Device:
+        break;
+    }
+    report.total_flops += node->meter().flops_done();
+  }
+  return report;
+}
+
+}  // namespace deep::sys

@@ -1,0 +1,143 @@
+#pragma once
+// DeepSystem: the assembled DEEP machine (slide 14).
+//
+// Owns every node (cluster, booster, gateways), both fabrics, the CBP
+// bridge, the Global-MPI system, the resource manager, the program registry
+// ("binaries") and the offload kernel registry.  Installs the comm_spawn
+// hook that allocates booster nodes, creates the children's world and
+// launches their processes with a ParaStation-style tree start-up cost.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbp/gateway.hpp"
+#include "hw/node.hpp"
+#include "mpi/mpi.hpp"
+#include "net/crossbar.hpp"
+#include "net/torus.hpp"
+#include "ompss/offload.hpp"
+#include "sim/engine.hpp"
+#include "sys/config.hpp"
+#include "sys/resource_manager.hpp"
+
+namespace deep::sys {
+
+class DeepSystem;
+
+/// What a rank program receives when it starts.
+struct ProgramEnv {
+  mpi::Mpi& mpi;
+  std::vector<std::string> args;
+  DeepSystem* system = nullptr;
+};
+
+using Program = std::function<void(ProgramEnv&)>;
+
+/// Named simulated binaries, resolvable by launch() and comm_spawn.
+class ProgramRegistry {
+ public:
+  void add(std::string name, Program program);
+  const Program& get(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, Program> programs_;
+};
+
+/// Tracks one running job (an initial world or a spawned world).
+class JobHandle {
+ public:
+  bool done() const { return state_ && state_->remaining == 0; }
+  int procs() const { return state_ ? state_->total : 0; }
+  sim::TimePoint finished_at() const { return state_ ? state_->finished_at : sim::TimePoint{}; }
+
+ private:
+  friend class DeepSystem;
+  friend class AcceleratedCluster;
+  struct State {
+    int total = 0;
+    int remaining = 0;
+    sim::TimePoint finished_at{};
+    std::function<void()> on_done;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+/// Aggregate energy of a node class over the simulated interval.
+struct EnergyReport {
+  double cluster_joules = 0;
+  double booster_joules = 0;
+  double gateway_joules = 0;
+  double total_flops = 0;
+  double total_joules() const {
+    return cluster_joules + booster_joules + gateway_joules;
+  }
+  double gflops_per_watt() const {
+    const double j = total_joules();
+    return j > 0 ? total_flops / j * 1e-9 : 0.0;
+  }
+};
+
+class DeepSystem {
+ public:
+  explicit DeepSystem(SystemConfig config);
+  ~DeepSystem();
+  DeepSystem(const DeepSystem&) = delete;
+  DeepSystem& operator=(const DeepSystem&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const SystemConfig& config() const { return config_; }
+  ProgramRegistry& programs() { return programs_; }
+  ompss::KernelRegistry& kernels() { return kernels_; }
+  ResourceManager& resource_manager() { return *rm_; }
+  cbp::BridgedTransport& bridge() { return *bridge_; }
+  net::CrossbarFabric& ib() { return *ib_; }
+  net::TorusFabric& extoll() { return *extoll_; }
+  mpi::MpiSystem& mpi_system() { return *mpi_; }
+
+  hw::Node& cluster_node(int i);
+  hw::Node& booster_node(int i);
+  hw::Node& node(hw::NodeId id);
+
+  /// Starts `nprocs` instances of registered program `name` on the cluster
+  /// (ranks round-robin over cluster nodes).  The job begins at the current
+  /// simulation time; run() drives it to completion.
+  JobHandle launch(const std::string& name, int nprocs,
+                   std::vector<std::string> args = {});
+
+  /// Runs the simulation until all events are drained.
+  void run() { engine_.run(); }
+
+  /// Energy drawn by all nodes from t=0 until now.
+  EnergyReport energy() const;
+
+ private:
+  mpi::SpawnResult spawn_children(const mpi::SpawnRequest& request);
+  void start_rank_process(const std::string& program_name,
+                          std::vector<std::string> args, hw::NodeId node_id,
+                          mpi::EpId ep, const mpi::MpiSystem::World& world,
+                          int rank, sim::Duration start_delay,
+                          std::shared_ptr<JobHandle::State> job,
+                          std::shared_ptr<mpi::IntercommState> parent_proto,
+                          mpi::EpAddr ready_to);
+
+  SystemConfig config_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;  // indexed by NodeId
+  std::vector<hw::NodeId> cluster_ids_;
+  std::vector<hw::NodeId> booster_ids_;
+  std::vector<hw::NodeId> gateway_ids_;
+  std::unique_ptr<net::CrossbarFabric> ib_;
+  std::unique_ptr<net::TorusFabric> extoll_;
+  std::unique_ptr<cbp::BridgedTransport> bridge_;
+  std::unique_ptr<mpi::MpiSystem> mpi_;
+  std::unique_ptr<ResourceManager> rm_;
+  ProgramRegistry programs_;
+  ompss::KernelRegistry kernels_;
+  int next_cluster_rr_ = 0;
+};
+
+}  // namespace deep::sys

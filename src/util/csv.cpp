@@ -1,0 +1,119 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deep::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  DEEP_EXPECT(!columns_.empty(), "Table: needs at least one column");
+}
+
+Table& Table::row() {
+  DEEP_EXPECT(rows_.empty() || rows_.back().size() == columns_.size(),
+              "Table::row: previous row incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  DEEP_EXPECT(!rows_.empty() && rows_.back().size() < columns_.size(),
+              "Table::add: no open cell");
+  rows_.back().emplace_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::int64_t value) {
+  DEEP_EXPECT(!rows_.empty() && rows_.back().size() < columns_.size(),
+              "Table::add: no open cell");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::add(double value) {
+  DEEP_EXPECT(!rows_.empty() && rows_.back().size() < columns_.size(),
+              "Table::add: no open cell");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+const Table::Cell& Table::at(std::size_t row, std::size_t col) const {
+  DEEP_EXPECT(row < rows_.size() && col < columns_.size(),
+              "Table::at: out of range");
+  return rows_[row][col];
+}
+
+std::string Table::cell_str(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  const double d = std::get<double>(cell);
+  char buf[64];
+  // %g keeps small latencies and large byte counts both readable.
+  std::snprintf(buf, sizeof buf, "%.6g", d);
+  return buf;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << (c ? "," : "") << columns_[c];
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << cell_str(row[c]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_pretty() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& out = rendered.emplace_back();
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(cell_str(row[c]));
+      width[c] = std::max(width[c], out.back().size());
+    }
+  }
+  std::ostringstream os;
+  auto pad = [&os](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w; ++i) os << ' ';
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    pad(columns_[c], width[c]);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      pad(row[c], width[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print_csv(std::ostream& os) const { os << to_csv(); }
+void Table::print_pretty(std::ostream& os) const { os << to_pretty(); }
+
+}  // namespace deep::util

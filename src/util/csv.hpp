@@ -1,0 +1,49 @@
+#pragma once
+// CSV / aligned-table writer used by the benchmark harnesses to print the
+// series behind each reproduced figure.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace deep::util {
+
+/// Accumulates rows of named columns and renders them either as CSV or as an
+/// aligned human-readable table.  Cell types: string, integer, double.
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, double>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string value);
+  Table& add(const char* value);
+  Table& add(std::int64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(double value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders "col1,col2,...\n..." CSV.
+  std::string to_csv() const;
+  /// Renders an aligned table with a header rule, for terminal output.
+  std::string to_pretty() const;
+
+  void print_csv(std::ostream& os) const;
+  void print_pretty(std::ostream& os) const;
+
+ private:
+  static std::string cell_str(const Cell& cell);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace deep::util

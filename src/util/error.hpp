@@ -1,0 +1,46 @@
+#pragma once
+// Error-handling utilities shared across DEEPsim.
+//
+// Library invariants are checked with DEEP_EXPECT / DEEP_ASSERT; violations
+// throw deep::util::SimError so tests can assert on misuse and long-running
+// simulations fail loudly instead of corrupting state.
+
+#include <stdexcept>
+#include <string>
+
+namespace deep::util {
+
+/// Base class for all errors raised by the simulator and its libraries.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an API is used outside its contract (bad rank, negative size…).
+class UsageError : public SimError {
+ public:
+  explicit UsageError(const std::string& what) : SimError(what) {}
+};
+
+/// Raised when a simulated resource request cannot be satisfied
+/// (e.g. not enough free booster nodes for a spawn).
+class ResourceError : public SimError {
+ public:
+  explicit ResourceError(const std::string& what) : SimError(what) {}
+};
+
+[[noreturn]] inline void raise_usage(const std::string& msg, const char* file,
+                                     int line) {
+  throw UsageError(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace deep::util
+
+/// Contract check for caller-supplied arguments; throws UsageError on failure.
+#define DEEP_EXPECT(cond, msg)                                \
+  do {                                                        \
+    if (!(cond)) ::deep::util::raise_usage((msg), __FILE__, __LINE__); \
+  } while (0)
+
+/// Internal invariant check; identical behaviour, distinct intent.
+#define DEEP_ASSERT(cond, msg) DEEP_EXPECT(cond, msg)

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace deep::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("DEEPSIM_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[deepsim %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace deep::util

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Simulations can emit a lot of per-event chatter; the default level is
+// Warn so tests and benches stay quiet.  Set DEEPSIM_LOG=debug|info|warn|off
+// or call set_level() to change it.
+
+#include <sstream>
+#include <string>
+
+namespace deep::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Writes one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (void)(os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace deep::util

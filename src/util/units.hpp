@@ -1,0 +1,49 @@
+#pragma once
+// Human-friendly unit constants and formatting helpers.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace deep::util {
+
+inline constexpr std::int64_t KiB = 1024;
+inline constexpr std::int64_t MiB = 1024 * KiB;
+inline constexpr std::int64_t GiB = 1024 * MiB;
+
+/// Decimal multipliers for rates and flop counts (as vendors quote them).
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Formats a byte count as "512 B", "4.0 KiB", "1.50 GiB"…
+inline std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes < KiB) {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes));
+  } else if (bytes < MiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(bytes) / KiB);
+  } else if (bytes < GiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(bytes) / MiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", static_cast<double>(bytes) / GiB);
+  }
+  return buf;
+}
+
+/// Formats a rate in bytes/second as "5.90 GB/s" (decimal units, as networks
+/// are quoted).
+inline std::string format_rate(double bytes_per_sec) {
+  char buf[64];
+  if (bytes_per_sec < kMega) {
+    std::snprintf(buf, sizeof buf, "%.1f kB/s", bytes_per_sec / kKilo);
+  } else if (bytes_per_sec < kGiga) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_sec / kMega);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_sec / kGiga);
+  }
+  return buf;
+}
+
+}  // namespace deep::util

@@ -1,0 +1,237 @@
+// Unit tests for the Cluster-Booster Protocol bridging layer.
+
+#include <gtest/gtest.h>
+
+#include "cbp/gateway.hpp"
+#include "cbp/transport.hpp"
+#include "net/crossbar.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace dc = deep::cbp;
+namespace dn = deep::net;
+namespace ds = deep::sim;
+
+namespace {
+
+// Node-id convention for these tests: 0..3 cluster, 10..13 booster, 20..21
+// gateways.
+struct Rig {
+  ds::Engine eng;
+  dn::CrossbarFabric ib{eng, "ib", {}};
+  dn::TorusFabric extoll{eng, "extoll", [] {
+                           dn::TorusParams p;
+                           p.dims = {4, 2, 1};
+                           return p;
+                         }()};
+  dc::BridgedTransport bridge;
+
+  explicit Rig(dc::BridgeParams params = {}, int gateways = 1)
+      : bridge(eng, ib, extoll, params) {
+    for (deep::hw::NodeId n = 0; n < 4; ++n) {
+      ib.attach(n);
+      bridge.register_cluster_node(n);
+    }
+    for (deep::hw::NodeId n = 10; n < 14; ++n) {
+      extoll.attach(n);
+      bridge.register_booster_node(n);
+    }
+    for (int g = 0; g < gateways; ++g) {
+      const deep::hw::NodeId id = 20 + g;
+      ib.attach(id);
+      extoll.attach(id);
+      bridge.register_gateway(id);
+    }
+  }
+};
+
+dn::Message mk(deep::hw::NodeId src, deep::hw::NodeId dst, std::int64_t size) {
+  dn::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.size_bytes = size;
+  m.port = dn::Port::Raw;
+  return m;
+}
+
+}  // namespace
+
+TEST(Bridge, SameSideTrafficStaysDirect) {
+  Rig rig;
+  ds::TimePoint arrival{};
+  rig.bridge.home_nic(1).bind(dn::Port::Raw,
+                              [&](dn::Message&&) { arrival = rig.eng.now(); });
+  rig.bridge.send(mk(0, 1, 0), dn::Service::Small);
+  rig.eng.run();
+  // Pure InfiniBand latency: no gateway was involved.
+  EXPECT_EQ(arrival.ps, rig.ib.params().latency.ps);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_messages, 0);
+}
+
+TEST(Bridge, BoosterSideTrafficUsesTorus) {
+  Rig rig;
+  ds::TimePoint arrival{};
+  rig.bridge.home_nic(11).bind(dn::Port::Raw,
+                               [&](dn::Message&&) { arrival = rig.eng.now(); });
+  rig.bridge.send(mk(10, 11, 64), dn::Service::Small);
+  rig.eng.run();
+  EXPECT_LT(arrival.ps, ds::from_micros(1.0).ps);  // EXTOLL, not IB
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_messages, 0);
+}
+
+TEST(Bridge, CrossTrafficForwardsThroughGateway) {
+  Rig rig;
+  ds::TimePoint arrival{};
+  dn::Message got;
+  rig.bridge.home_nic(12).bind(dn::Port::Raw, [&](dn::Message&& m) {
+    arrival = rig.eng.now();
+    got = std::move(m);
+  });
+  rig.bridge.send(mk(0, 12, 1024), dn::Service::Small);
+  rig.eng.run();
+  EXPECT_GT(arrival.ps, 0);
+  EXPECT_EQ(got.dst, 12);
+  EXPECT_EQ(got.size_bytes, 1024);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_messages, 1);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_bytes,
+            1024 + rig.bridge.params().frame_header_bytes);
+  // Cross-fabric costs more than either fabric alone: at least IB latency
+  // plus SMFU processing.
+  EXPECT_GT(arrival.ps,
+            (rig.ib.params().latency + rig.bridge.params().smfu_latency).ps);
+}
+
+TEST(Bridge, CrossTrafficWorksBothDirections) {
+  Rig rig;
+  int cluster_got = 0, booster_got = 0;
+  rig.bridge.home_nic(3).bind(dn::Port::Raw,
+                              [&](dn::Message&&) { ++cluster_got; });
+  rig.bridge.home_nic(13).bind(dn::Port::Raw,
+                               [&](dn::Message&&) { ++booster_got; });
+  rig.bridge.send(mk(13, 3, 256), dn::Service::Small);   // booster -> cluster
+  rig.bridge.send(mk(3, 13, 256), dn::Service::Small);   // cluster -> booster
+  rig.eng.run();
+  EXPECT_EQ(cluster_got, 1);
+  EXPECT_EQ(booster_got, 1);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_messages, 2);
+}
+
+TEST(Bridge, PayloadSurvivesBridging) {
+  Rig rig;
+  std::vector<std::byte> data(128);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i);
+  dn::Message msg = mk(0, 10, 128);
+  msg.payload = dn::make_payload(std::move(data));
+  bool checked = false;
+  rig.bridge.home_nic(10).bind(dn::Port::Raw, [&](dn::Message&& m) {
+    ASSERT_TRUE(m.payload);
+    ASSERT_EQ(m.payload->size(), 128u);
+    for (std::size_t i = 0; i < 128; ++i)
+      EXPECT_EQ((*m.payload)[i], static_cast<std::byte>(i));
+    checked = true;
+  });
+  rig.bridge.send(std::move(msg), dn::Service::Small);
+  rig.eng.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Bridge, ByPairPolicyPinsGateway) {
+  dc::BridgeParams params;
+  params.policy = dc::GatewayPolicy::ByPair;
+  Rig rig(params, 2);
+  rig.bridge.home_nic(12).bind(dn::Port::Raw, [](dn::Message&&) {});
+  for (int i = 0; i < 6; ++i)
+    rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.eng.run();
+  const auto a = rig.bridge.gateway_stats(20).forwarded_messages;
+  const auto b = rig.bridge.gateway_stats(21).forwarded_messages;
+  // All six took the same (hash-selected) gateway.
+  EXPECT_EQ(a + b, 6);
+  EXPECT_TRUE(a == 0 || b == 0);
+}
+
+TEST(Bridge, RoundRobinSpreadsLoad) {
+  dc::BridgeParams params;
+  params.policy = dc::GatewayPolicy::RoundRobin;
+  Rig rig(params, 2);
+  rig.bridge.home_nic(12).bind(dn::Port::Raw, [](dn::Message&&) {});
+  for (int i = 0; i < 6; ++i)
+    rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.eng.run();
+  EXPECT_EQ(rig.bridge.gateway_stats(20).forwarded_messages, 3);
+  EXPECT_EQ(rig.bridge.gateway_stats(21).forwarded_messages, 3);
+}
+
+TEST(Bridge, GatewaySmfuSerialises) {
+  // Two large cross-fabric messages through one gateway: the second must
+  // wait for the first to clear the SMFU.
+  Rig rig;
+  std::vector<ds::TimePoint> arrivals;
+  rig.bridge.home_nic(12).bind(dn::Port::Raw, [&](dn::Message&&) {
+    arrivals.push_back(rig.eng.now());
+  });
+  const std::int64_t size = 4'500'000;  // 1 ms of SMFU time at 4.5 GB/s
+  rig.bridge.send(mk(0, 12, size), dn::Service::Bulk);
+  rig.bridge.send(mk(1, 12, size), dn::Service::Bulk);
+  rig.eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const double smfu_ms =
+      static_cast<double>(size + rig.bridge.params().frame_header_bytes) /
+      rig.bridge.params().smfu_bandwidth_bytes_per_sec * 1e3;
+  EXPECT_GT((arrivals[1] - arrivals[0]).millis(), 0.5 * smfu_ms);
+}
+
+TEST(Bridge, RegistrationValidation) {
+  ds::Engine eng;
+  dn::CrossbarFabric ib(eng, "ib", {});
+  dn::TorusParams tp;
+  tp.dims = {2, 1, 1};
+  dn::TorusFabric extoll(eng, "extoll", tp);
+  dc::BridgedTransport bridge(eng, ib, extoll);
+
+  EXPECT_THROW(bridge.register_cluster_node(0), deep::util::UsageError);
+  ib.attach(0);
+  bridge.register_cluster_node(0);
+  EXPECT_THROW(bridge.register_cluster_node(0), deep::util::UsageError);
+
+  EXPECT_THROW(bridge.register_gateway(1), deep::util::UsageError);
+  ib.attach(1);
+  EXPECT_THROW(bridge.register_gateway(1), deep::util::UsageError);
+  extoll.attach(1);
+  bridge.register_gateway(1);
+
+  EXPECT_THROW(bridge.send(mk(0, 99, 8), dn::Service::Small),
+               deep::util::UsageError);
+}
+
+TEST(Bridge, CrossSendWithoutGatewayFails) {
+  dc::BridgeParams params;
+  Rig rig(params, 0);
+  EXPECT_THROW(rig.bridge.send(mk(0, 10, 8), dn::Service::Small),
+               deep::util::UsageError);
+}
+
+TEST(Bridge, SideQueries) {
+  Rig rig;
+  EXPECT_TRUE(rig.bridge.on_cluster_side(0));
+  EXPECT_FALSE(rig.bridge.on_booster_side(0));
+  EXPECT_TRUE(rig.bridge.on_booster_side(10));
+  EXPECT_TRUE(rig.bridge.on_cluster_side(20));
+  EXPECT_TRUE(rig.bridge.on_booster_side(20));
+  EXPECT_THROW(rig.bridge.on_cluster_side(99), deep::util::UsageError);
+}
+
+TEST(DirectTransport, DeliversOnSingleFabric) {
+  ds::Engine eng;
+  dn::CrossbarFabric ib(eng, "ib", {});
+  dc::DirectTransport t(ib);
+  ib.attach(0);
+  ib.attach(1);
+  int got = 0;
+  t.home_nic(1).bind(dn::Port::Raw, [&](dn::Message&&) { ++got; });
+  t.send(mk(0, 1, 64), dn::Service::Small);
+  eng.run();
+  EXPECT_EQ(got, 1);
+}

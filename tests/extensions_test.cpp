@@ -1,0 +1,379 @@
+// Tests for the extension features: data-layout transformation (slide 25),
+// probe/wait_any, gateway failover (RAS), and multi-rank-per-node spawn
+// placement.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "mpi/layout.hpp"
+#include "mpi_rig.hpp"
+#include "sys/system.hpp"
+#include "util/error.hpp"
+
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+namespace dsy = deep::sys;
+using deep::testing::BridgedMpiRig;
+using deep::testing::MpiRig;
+
+// ---------------------------------------------------------------------------
+// Layout transformation
+// ---------------------------------------------------------------------------
+
+TEST(Layout, PackExtractsStridedRows) {
+  // A 3x2 tile out of a 3x5 row-major matrix (stride 5).
+  std::vector<double> matrix(15);
+  std::iota(matrix.begin(), matrix.end(), 0.0);
+  dm::Layout2D layout{3, 2, 5, sizeof(double)};
+  const auto packed = dm::pack<double>(layout, matrix);
+  ASSERT_EQ(packed.size(), 3 * 2 * sizeof(double));
+  const double* p = reinterpret_cast<const double*>(packed.data());
+  EXPECT_EQ(std::vector<double>(p, p + 6),
+            (std::vector<double>{0, 1, 5, 6, 10, 11}));
+}
+
+TEST(Layout, PackUnpackRoundTrip) {
+  std::vector<int> src(64), dst(64, -1);
+  std::iota(src.begin(), src.end(), 100);
+  dm::Layout2D layout{4, 3, 8, sizeof(int)};
+  const auto packed = dm::pack<int>(layout, src);
+  dm::unpack<int>(layout, packed, dst);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(dst[r * 8 + c], src[r * 8 + c]);
+  // Cells outside the layout are untouched.
+  EXPECT_EQ(dst[3], -1);
+  EXPECT_EQ(dst[63], -1);
+}
+
+TEST(Layout, ContiguousLayoutIsMemcpy) {
+  std::vector<float> src(12);
+  std::iota(src.begin(), src.end(), 0.f);
+  dm::Layout2D layout{3, 4, 4, sizeof(float)};
+  const auto packed = dm::pack<float>(layout, src);
+  const float* p = reinterpret_cast<const float*>(packed.data());
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(p[i], src[static_cast<std::size_t>(i)]);
+}
+
+TEST(Layout, TransposedPack) {
+  // 2x3 region becomes 3x2 column-major in the packed buffer.
+  std::vector<int> src{1, 2, 3, 4, 5, 6};
+  dm::Layout2D layout{2, 3, 3, sizeof(int)};
+  const auto packed = dm::pack_transposed<int>(layout, src);
+  const int* p = reinterpret_cast<const int*>(packed.data());
+  EXPECT_EQ(std::vector<int>(p, p + 6), (std::vector<int>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Layout, Validation) {
+  std::vector<double> tiny(4);
+  dm::Layout2D bad_stride{2, 4, 2, sizeof(double)};
+  EXPECT_THROW(dm::pack<double>(bad_stride, tiny), deep::util::UsageError);
+  dm::Layout2D too_big{8, 4, 4, sizeof(double)};
+  EXPECT_THROW(dm::pack<double>(too_big, tiny), deep::util::UsageError);
+  dm::Layout2D ok{1, 4, 4, sizeof(double)};
+  auto packed = dm::pack<double>(ok, tiny);
+  std::vector<double> small(2);
+  EXPECT_THROW(dm::unpack<double>(ok, packed, small), deep::util::UsageError);
+}
+
+TEST(Layout, StridedTileOverMpi) {
+  // End to end: pack a tile, ship it, unpack into a different stride — the
+  // cluster/booster layout transformation of slide 25.
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::vector<double> big(100);
+      std::iota(big.begin(), big.end(), 0.0);
+      dm::Layout2D src_layout{4, 4, 10, sizeof(double)};
+      const auto packed = dm::pack<double>(src_layout, big);
+      mpi.send_bytes(mpi.world(), 1, 0, packed);
+    } else {
+      std::vector<std::byte> packed(4 * 4 * sizeof(double));
+      mpi.recv_bytes(mpi.world(), 0, 0, packed);
+      std::vector<double> dense(4 * 4);
+      dm::Layout2D dst_layout{4, 4, 4, sizeof(double)};
+      dm::unpack<double>(dst_layout, packed, dense);
+      EXPECT_EQ(dense[0], 0.0);
+      EXPECT_EQ(dense[4], 10.0);  // second source row
+      EXPECT_EQ(dense[15], 33.0);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// probe / wait_any
+// ---------------------------------------------------------------------------
+
+TEST(Probe, IprobeSeesBufferedMessage) {
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const std::vector<int> v{1, 2, 3};
+      mpi.send<int>(mpi.world(), 1, 9, std::span<const int>(v));
+    } else {
+      mpi.ctx().delay(ds::milliseconds(1));  // let it arrive unexpected
+      EXPECT_FALSE(mpi.iprobe(mpi.world(), 0, 5).has_value());
+      const auto st = mpi.iprobe(mpi.world(), 0, 9);
+      ASSERT_TRUE(st.has_value());
+      EXPECT_EQ(st->source, 0);
+      EXPECT_EQ(st->bytes, 12);
+      // Probe does not consume: the recv still matches.
+      std::vector<int> v(3);
+      mpi.recv<int>(mpi.world(), 0, 9, std::span<int>(v));
+      EXPECT_EQ(v[2], 3);
+      EXPECT_FALSE(mpi.iprobe(mpi.world(), 0, 9).has_value());
+    }
+  });
+}
+
+TEST(Probe, BlockingProbeSizesBuffer) {
+  // The classic probe use: learn the size before allocating.
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::vector<double> v(37, 1.5);
+      mpi.send<double>(mpi.world(), 1, 0, std::span<const double>(v));
+    } else {
+      const auto st = mpi.probe(mpi.world(), 0, 0);
+      std::vector<double> v(static_cast<std::size_t>(st.bytes) / sizeof(double));
+      EXPECT_EQ(v.size(), 37u);
+      mpi.recv<double>(mpi.world(), 0, 0, std::span<double>(v));
+      EXPECT_EQ(v[36], 1.5);
+    }
+  });
+}
+
+TEST(WaitAny, ReturnsFirstCompletion) {
+  MpiRig rig(3);
+  rig.run([](dm::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::vector<int> a(1), b(1);
+      const dm::RequestPtr reqs[2] = {
+          mpi.irecv<int>(mpi.world(), 1, 0, std::span<int>(a)),
+          mpi.irecv<int>(mpi.world(), 2, 0, std::span<int>(b))};
+      // Rank 2 sends first (rank 1 delays), so index 1 completes first.
+      const std::size_t first = mpi.wait_any(reqs);
+      EXPECT_EQ(first, 1u);
+      EXPECT_EQ(b[0], 22);
+      mpi.wait(reqs[0]);
+      EXPECT_EQ(a[0], 11);
+    } else if (mpi.rank() == 1) {
+      mpi.ctx().delay(ds::milliseconds(5));
+      const std::vector<int> v{11};
+      mpi.send<int>(mpi.world(), 0, 0, std::span<const int>(v));
+    } else {
+      const std::vector<int> v{22};
+      mpi.send<int>(mpi.world(), 0, 0, std::span<const int>(v));
+    }
+  });
+}
+
+TEST(WaitAny, EmptyListRejected) {
+  MpiRig rig(1);
+  rig.run([](dm::Mpi& mpi) {
+    EXPECT_THROW(mpi.wait_any({}), deep::util::UsageError);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Gateway failover
+// ---------------------------------------------------------------------------
+
+TEST(Failover, TrafficMovesToSurvivingGateway) {
+  BridgedMpiRig rig(1, 1, 2);
+  // Node ids: 0 cluster, 1 booster, 2..3 gateways.
+  rig.run([&](dm::Mpi& mpi) {
+    std::vector<std::byte> buf(64);
+    auto ping = [&] {
+      if (mpi.rank() == 0) {
+        mpi.send_bytes(mpi.world(), 1, 0, buf);
+        mpi.recv_bytes(mpi.world(), 1, 0, buf);
+      } else {
+        mpi.recv_bytes(mpi.world(), 0, 0, buf);
+        mpi.send_bytes(mpi.world(), 0, 0, buf);
+      }
+    };
+    ping();
+    const auto before_a = rig.bridge().gateway_stats(2).forwarded_messages;
+    const auto before_b = rig.bridge().gateway_stats(3).forwarded_messages;
+    // Fail the gateway that carried the traffic.
+    if (mpi.rank() == 0) {
+      rig.bridge().set_gateway_up(before_a > before_b ? 2 : 3, false);
+      EXPECT_EQ(rig.bridge().num_gateways_up(), 1u);
+    }
+    mpi.barrier(mpi.world());
+    ping();  // must still work
+    mpi.barrier(mpi.world());
+    if (mpi.rank() == 0) {
+      const auto after_a = rig.bridge().gateway_stats(2).forwarded_messages;
+      const auto after_b = rig.bridge().gateway_stats(3).forwarded_messages;
+      // The surviving gateway carried the second ping.
+      if (before_a > before_b) {
+        EXPECT_EQ(after_a, before_a);
+        EXPECT_GT(after_b, before_b);
+      } else {
+        EXPECT_EQ(after_b, before_b);
+        EXPECT_GT(after_a, before_a);
+      }
+    }
+  });
+}
+
+TEST(Failover, AllGatewaysDownThrows) {
+  BridgedMpiRig rig(1, 1, 1);
+  EXPECT_THROW(rig.run([&](dm::Mpi& mpi) {
+                 if (mpi.rank() == 0) {
+                   rig.bridge().set_gateway_up(2, false);
+                   std::vector<std::byte> buf(8);
+                   mpi.send_bytes(mpi.world(), 1, 0, buf);
+                 }
+               }),
+               deep::util::UsageError);
+}
+
+TEST(Failover, UnknownGatewayRejected) {
+  BridgedMpiRig rig(1, 1, 1);
+  EXPECT_THROW(rig.bridge().set_gateway_up(99, false), deep::util::UsageError);
+  EXPECT_THROW(rig.bridge().gateway_up(99), deep::util::UsageError);
+  EXPECT_TRUE(rig.bridge().gateway_up(2));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-rank-per-node spawn placement
+// ---------------------------------------------------------------------------
+
+TEST(Placement, RanksPerNodePacksBlocks) {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 1;
+  cfg.booster_nodes = 2;
+  cfg.gateways = 1;
+  dsy::DeepSystem sys(cfg);
+  std::vector<deep::hw::NodeId> child_nodes(8, -1);
+  sys.programs().add("kernel", [&](dsy::ProgramEnv& env) {
+    child_nodes[static_cast<std::size_t>(env.mpi.rank())] =
+        env.mpi.node().id();
+    env.mpi.barrier(env.mpi.world());
+  });
+  sys.programs().add("main", [](dsy::ProgramEnv& env) {
+    // 8 ranks on 2 booster nodes.
+    env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 8,
+                       {{"deep_ranks_per_node", "4"}});
+  });
+  sys.launch("main", 1);
+  sys.run();
+  // Block placement: ranks 0-3 on one node, 4-7 on the other.
+  std::set<deep::hw::NodeId> first(child_nodes.begin(), child_nodes.begin() + 4);
+  std::set<deep::hw::NodeId> second(child_nodes.begin() + 4, child_nodes.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+  // Only 2 nodes were taken from the pool.
+  EXPECT_EQ(sys.resource_manager().busy_nodes(), 0);  // released after exit
+  EXPECT_EQ(sys.resource_manager().allocations(), 1);
+}
+
+TEST(Placement, RanksPerNodeEnablesOversubscribedSpawn) {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 1;
+  cfg.booster_nodes = 2;
+  cfg.gateways = 1;
+  dsy::DeepSystem sys(cfg);
+  int world_size = 0;
+  sys.programs().add("kernel", [&](dsy::ProgramEnv& env) {
+    world_size = env.mpi.size();
+    env.mpi.barrier(env.mpi.world());
+  });
+  sys.programs().add("main", [](dsy::ProgramEnv& env) {
+    // 16 ranks would exhaust a 2-node booster at one rank per node...
+    EXPECT_THROW(env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 16),
+                 deep::util::ResourceError);
+    // ...but fit with 8 ranks per node.
+    env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 16,
+                       {{"deep_ranks_per_node", "8"}});
+  });
+  sys.launch("main", 1);
+  sys.run();
+  EXPECT_EQ(world_size, 16);
+}
+
+TEST(Placement, InvalidRanksPerNodeRejected) {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 1;
+  cfg.booster_nodes = 2;
+  cfg.gateways = 1;
+  dsy::DeepSystem sys(cfg);
+  sys.programs().add("kernel", [](dsy::ProgramEnv&) {});
+  sys.programs().add("main", [](dsy::ProgramEnv& env) {
+    EXPECT_THROW(env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 2,
+                                    {{"deep_ranks_per_node", "0"}}),
+                 deep::util::UsageError);
+  });
+  sys.launch("main", 1);
+  sys.run();
+}
+
+// ---------------------------------------------------------------------------
+// Node failure (RAS at the resource-management level)
+// ---------------------------------------------------------------------------
+
+TEST(NodeFailure, FailedNodesNotAllocated) {
+  ds::Engine eng;
+  dsy::ResourceManager rm(eng, {10, 11, 12, 13}, dsy::AllocPolicy::Dynamic);
+  rm.mark_failed(11);
+  rm.mark_failed(12);
+  EXPECT_EQ(rm.nodes_out_of_service(), 2);
+  auto a = rm.allocate(2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ((*a)[0], 10);
+  EXPECT_EQ((*a)[1], 13);
+  EXPECT_FALSE(rm.allocate(1).has_value());  // nothing healthy left
+  rm.mark_repaired(11);
+  EXPECT_TRUE(rm.allocate(1).has_value());
+  EXPECT_EQ(rm.nodes_out_of_service(), 1);
+}
+
+TEST(NodeFailure, BusyNodeStaysWithItsJobUntilRelease) {
+  ds::Engine eng;
+  dsy::ResourceManager rm(eng, {0, 1}, dsy::AllocPolicy::Dynamic);
+  auto a = rm.allocate(2);
+  ASSERT_TRUE(a.has_value());
+  rm.mark_failed(0);
+  rm.release(*a);  // release of a failed node is fine...
+  EXPECT_EQ(rm.busy_nodes(), 0);
+  auto b = rm.allocate(2);
+  EXPECT_FALSE(b.has_value());  // ...but it is not handed out again
+  EXPECT_TRUE(rm.allocate(1).has_value());
+}
+
+TEST(NodeFailure, SpawnRoutesAroundFailedBoosterNodes) {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 1;
+  cfg.booster_nodes = 4;
+  cfg.gateways = 1;
+  dsy::DeepSystem sys(cfg);
+  // Booster node ids are 1..4 (after the cluster node 0).
+  sys.resource_manager().mark_failed(sys.booster_node(0).id());
+  std::vector<deep::hw::NodeId> used;
+  sys.programs().add("kernel", [&](dsy::ProgramEnv& env) {
+    used.push_back(env.mpi.node().id());
+  });
+  sys.programs().add("main", [&](dsy::ProgramEnv& env) {
+    env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 3);
+    // A 4-wide spawn can no longer be satisfied.
+    EXPECT_THROW(env.mpi.comm_spawn(env.mpi.world(), 0, "kernel", {}, 4),
+                 deep::util::ResourceError);
+  });
+  sys.launch("main", 1);
+  sys.run();
+  ASSERT_EQ(used.size(), 3u);
+  for (const auto id : used) EXPECT_NE(id, sys.booster_node(0).id());
+}
+
+TEST(NodeFailure, UnknownNodeRejected) {
+  ds::Engine eng;
+  dsy::ResourceManager rm(eng, {5}, dsy::AllocPolicy::Dynamic);
+  EXPECT_THROW(rm.mark_failed(99), deep::util::UsageError);
+}

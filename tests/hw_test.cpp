@@ -1,0 +1,190 @@
+// Unit tests for the hardware models: specs, roofline compute, energy, GPU.
+
+#include <gtest/gtest.h>
+
+#include "hw/compute.hpp"
+#include "hw/energy.hpp"
+#include "hw/gpu.hpp"
+#include "hw/node.hpp"
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace dh = deep::hw;
+namespace ds = deep::sim;
+
+TEST(Spec, PresetsHaveSaneRatios) {
+  const auto cn = dh::xeon_cluster_node();
+  const auto bn = dh::knc_booster_node();
+  const auto gpu = dh::kepler_gpu_device();
+
+  // The booster node has ~3x the raw flops of the cluster node...
+  EXPECT_GT(bn.peak_flops(), 2.5 * cn.peak_flops());
+  EXPECT_LT(bn.peak_flops(), 4.0 * cn.peak_flops());
+  // ...and much better energy efficiency (the paper quotes ~5 GFlop/W).
+  EXPECT_GT(bn.peak_flops_per_watt(), 4.0e9);
+  EXPECT_LT(cn.peak_flops_per_watt(), 1.5e9);
+  // The GPU has high raw flops, comparable to the KNC.
+  EXPECT_GT(gpu.peak_flops(), 1.0e12);
+}
+
+TEST(Spec, KindNames) {
+  EXPECT_STREQ(dh::to_string(dh::NodeKind::Cluster), "cluster");
+  EXPECT_STREQ(dh::to_string(dh::NodeKind::Booster), "booster");
+  EXPECT_STREQ(dh::to_string(dh::NodeKind::Gateway), "gateway");
+  EXPECT_STREQ(dh::to_string(dh::NodeKind::Device), "device");
+}
+
+TEST(Compute, FlopsBoundKernel) {
+  const auto cn = dh::xeon_cluster_node();
+  // Compute-heavy: 1e9 flops, negligible memory traffic, 1 core.
+  const double t = dh::compute_seconds(cn, {1e9, 8.0, 0.0}, 1);
+  const double per_core = cn.clock_ghz * 1e9 * cn.flops_per_cycle_per_core;
+  EXPECT_NEAR(t, 1e9 / per_core, 1e-12);
+}
+
+TEST(Compute, MemoryBoundKernel) {
+  const auto cn = dh::xeon_cluster_node();
+  // Memory-heavy: trivial flops, 8 GB of traffic.
+  const double t = dh::compute_seconds(cn, {1.0, 8e9, 0.0}, cn.cores);
+  EXPECT_NEAR(t, 8e9 / cn.mem_bw_bytes_per_sec, 1e-9);
+}
+
+TEST(Compute, PerfectScalingWithoutSerialFraction) {
+  const auto bn = dh::knc_booster_node();
+  const dh::KernelCost cost{1e12, 0.0, 0.0};
+  const double t1 = dh::compute_seconds(bn, cost, 1);
+  const double t60 = dh::compute_seconds(bn, cost, 60);
+  EXPECT_NEAR(t1 / t60, 60.0, 1e-6);
+}
+
+TEST(Compute, AmdahlLimitsSpeedup) {
+  const auto bn = dh::knc_booster_node();
+  const dh::KernelCost cost{1e12, 0.0, 0.1};  // 10% serial
+  const double t1 = dh::compute_seconds(bn, cost, 1);
+  const double t60 = dh::compute_seconds(bn, cost, 60);
+  const double speedup = t1 / t60;
+  EXPECT_LT(speedup, 10.0);           // Amdahl bound for 10% serial
+  EXPECT_GT(speedup, 8.0);            // but close to it with 60 cores
+}
+
+TEST(Compute, InvalidArgumentsThrow) {
+  const auto cn = dh::xeon_cluster_node();
+  EXPECT_THROW(dh::compute_seconds(cn, {1.0, 1.0, 0.0}, 0), deep::util::UsageError);
+  EXPECT_THROW(dh::compute_seconds(cn, {1.0, 1.0, 0.0}, cn.cores + 1),
+               deep::util::UsageError);
+  EXPECT_THROW(dh::compute_seconds(cn, {-1.0, 1.0, 0.0}, 1),
+               deep::util::UsageError);
+  EXPECT_THROW(dh::compute_seconds(cn, {1.0, 1.0, 1.5}, 1),
+               deep::util::UsageError);
+}
+
+TEST(Compute, KernelCostHelpers) {
+  const auto c = dh::kernels::dgemm(100);
+  EXPECT_DOUBLE_EQ(c.flops, 2e6);
+  const auto j = dh::kernels::jacobi2d(10, 20);
+  EXPECT_DOUBLE_EQ(j.flops, 1000.0);
+  EXPECT_GT(dh::kernels::gemm(32).flops, dh::kernels::syrk(32).flops);
+  EXPECT_GT(dh::kernels::spmv(1000).mem_bytes, 0.0);
+}
+
+TEST(Energy, IdleOnlyWhenNoWork) {
+  const auto cn = dh::xeon_cluster_node();
+  dh::EnergyMeter m(cn);
+  const double j = m.joules(ds::seconds_i(10));
+  EXPECT_DOUBLE_EQ(j, cn.idle_watts * 10.0);
+}
+
+TEST(Energy, FullLoadDrawsPeak) {
+  const auto cn = dh::xeon_cluster_node();
+  dh::EnergyMeter m(cn);
+  m.add_busy(ds::seconds_i(10), cn.cores);
+  EXPECT_NEAR(m.joules(ds::seconds_i(10)), cn.peak_watts * 10.0, 1e-6);
+}
+
+TEST(Energy, PartialLoadInterpolates) {
+  const auto cn = dh::xeon_cluster_node();
+  dh::EnergyMeter m(cn);
+  m.add_busy(ds::seconds_i(10), cn.cores / 2);
+  const double expected =
+      cn.idle_watts * 10.0 + (cn.peak_watts - cn.idle_watts) * 5.0;
+  EXPECT_NEAR(m.joules(ds::seconds_i(10)), expected, 1e-6);
+}
+
+TEST(Energy, GflopsPerWatt) {
+  const auto bn = dh::knc_booster_node();
+  dh::EnergyMeter m(bn);
+  // Run flat out for 1 s at peak flops.
+  m.add_busy(ds::seconds_i(1), bn.cores);
+  m.add_flops(bn.peak_flops());
+  EXPECT_NEAR(m.gflops_per_watt(ds::seconds_i(1)),
+              bn.peak_flops() / bn.peak_watts * 1e-9, 1e-6);
+}
+
+TEST(Energy, ResetClears) {
+  const auto cn = dh::xeon_cluster_node();
+  dh::EnergyMeter m(cn);
+  m.add_busy(ds::seconds_i(1), 1);
+  m.add_flops(100);
+  m.reset();
+  EXPECT_EQ(m.busy_core_seconds(), 0.0);
+  EXPECT_EQ(m.flops_done(), 0.0);
+}
+
+TEST(Node, ComputeAdvancesTimeAndMetersEnergy) {
+  ds::Engine eng;
+  dh::Node node(0, "cn0", dh::xeon_cluster_node());
+  eng.spawn("rank", [&](ds::Context& ctx) {
+    node.compute(ctx, {1e9, 0.0, 0.0}, 1);
+  });
+  eng.run();
+  const double per_core = node.spec().clock_ghz * 1e9 *
+                          node.spec().flops_per_cycle_per_core;
+  EXPECT_NEAR(eng.now().seconds(), 1e9 / per_core, 1e-9);
+  EXPECT_GT(node.meter().busy_core_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(node.meter().flops_done(), 1e9);
+}
+
+TEST(Gpu, LaunchRoundTripIncludesPcieBothWays) {
+  ds::Engine eng;
+  dh::GpuDevice gpu("gpu0", dh::kepler_gpu_device());
+  ds::Duration rtt{};
+  eng.spawn("host", [&](ds::Context& ctx) {
+    rtt = gpu.launch(ctx, {1e9, 0.0, 0.0}, 1 << 20, 1 << 20);
+  });
+  eng.run();
+  const auto xfer = gpu.pcie().transfer_time(1 << 20);
+  const auto kernel = dh::compute_time(gpu.spec(), {1e9, 0.0, 0.0}, 1);
+  EXPECT_EQ(rtt.ps, (xfer + kernel + xfer).ps);
+  EXPECT_EQ(gpu.launches(), 1);
+}
+
+TEST(Gpu, ZeroByteTransfersSkipDmaSetup) {
+  dh::PcieModel pcie;
+  EXPECT_EQ(pcie.transfer_time(0).ps, 0);
+  EXPECT_GT(pcie.transfer_time(1).ps, pcie.dma_setup.ps);
+}
+
+TEST(Gpu, DeviceSerialisesBackToBackLaunches) {
+  ds::Engine eng;
+  dh::GpuDevice gpu("gpu0", dh::kepler_gpu_device());
+  // Two host processes sharing one GPU: second launch must queue.
+  ds::TimePoint end1{}, end2{};
+  eng.spawn("h1", [&](ds::Context& ctx) {
+    gpu.launch(ctx, {1e10, 0.0, 0.0}, 0, 0);
+    end1 = ctx.now();
+  });
+  eng.spawn("h2", [&](ds::Context& ctx) {
+    gpu.launch(ctx, {1e10, 0.0, 0.0}, 0, 0);
+    end2 = ctx.now();
+  });
+  eng.run();
+  const auto kernel = dh::compute_time(gpu.spec(), {1e10, 0.0, 0.0}, 1);
+  EXPECT_GE((end2 - end1).ps, kernel.ps / 2);  // queued behind h1
+  EXPECT_EQ(gpu.launches(), 2);
+}
+
+TEST(Gpu, WrongSpecKindRejected) {
+  EXPECT_THROW(dh::GpuDevice("bad", dh::xeon_cluster_node()),
+               deep::util::UsageError);
+}

@@ -1,0 +1,215 @@
+#pragma once
+// Shared test rig: brings up an MpiSystem over a single crossbar fabric (or
+// a bridged cluster+booster pair) and runs rank programs as simulated
+// processes, mimicking what the deep::sys launcher does in production code.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbp/gateway.hpp"
+#include "cbp/transport.hpp"
+#include "hw/node.hpp"
+#include "mpi/mpi.hpp"
+#include "net/crossbar.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+
+namespace deep::testing {
+
+/// N ranks, one per cluster node, over a plain InfiniBand crossbar.
+class MpiRig {
+ public:
+  explicit MpiRig(int nranks, mpi::MpiParams params = {})
+      : ib_(engine_, "ib", {}), transport_(ib_), system_(engine_, transport_, params) {
+    std::vector<hw::NodeId> node_ids;
+    for (int i = 0; i < nranks; ++i) {
+      nodes_.push_back(std::make_unique<hw::Node>(i, "cn" + std::to_string(i),
+                                                  hw::xeon_cluster_node()));
+      ib_.attach(i);
+      node_ids.push_back(i);
+    }
+    world_ = system_.create_world(node_ids);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  mpi::MpiSystem& system() { return system_; }
+  net::CrossbarFabric& fabric() { return ib_; }
+
+  /// Launches `fn` on every rank and runs the simulation to completion.
+  void run(const std::function<void(mpi::Mpi&)>& fn) {
+    launch(fn);
+    engine_.run();
+  }
+
+  /// Launches without running (for tests that drive the engine manually).
+  void launch(const std::function<void(mpi::Mpi&)>& fn) {
+    const int n = world_.group->size();
+    for (int r = 0; r < n; ++r) {
+      engine_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+        auto state = std::make_shared<mpi::CommState>();
+        state->ctx_p2p = world_.ctx_p2p;
+        state->ctx_coll = world_.ctx_coll;
+        state->group = world_.group;
+        state->rank = r;
+        mpi::Mpi mpi(system_, ctx, *nodes_[static_cast<std::size_t>(r)],
+                     system_.endpoint(world_.group->members[static_cast<std::size_t>(r)].ep),
+                     mpi::Comm(std::move(state)), std::nullopt);
+        fn(mpi);
+      });
+    }
+  }
+
+ private:
+  sim::Engine engine_;
+  net::CrossbarFabric ib_;
+  cbp::DirectTransport transport_;
+  mpi::MpiSystem system_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  mpi::MpiSystem::World world_;
+};
+
+/// N ranks, one per KNC booster node, on an EXTOLL torus (no cluster side):
+/// used to study HSCP behaviour on the booster fabric in isolation.
+class BoosterRig {
+ public:
+  explicit BoosterRig(int nranks, mpi::MpiParams params = {})
+      : extoll_(engine_, "extoll",
+                [&] {
+                  net::TorusParams p;
+                  p.dims = {0, 0, 0};
+                  int x = 1, y = 1, z = 1;
+                  while (x * y * z < nranks) {
+                    if (x <= y && x <= z)
+                      ++x;
+                    else if (y <= z)
+                      ++y;
+                    else
+                      ++z;
+                  }
+                  p.dims = {x, y, z};
+                  return p;
+                }()),
+        transport_(extoll_),
+        system_(engine_, transport_, params) {
+    std::vector<hw::NodeId> node_ids;
+    for (int i = 0; i < nranks; ++i) {
+      nodes_.push_back(std::make_unique<hw::Node>(i, "bn" + std::to_string(i),
+                                                  hw::knc_booster_node()));
+      extoll_.attach(i);
+      node_ids.push_back(i);
+    }
+    world_ = system_.create_world(node_ids);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  net::TorusFabric& fabric() { return extoll_; }
+
+  void run(const std::function<void(mpi::Mpi&)>& fn) {
+    const int n = world_.group->size();
+    for (int r = 0; r < n; ++r) {
+      engine_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+        auto state = std::make_shared<mpi::CommState>();
+        state->ctx_p2p = world_.ctx_p2p;
+        state->ctx_coll = world_.ctx_coll;
+        state->group = world_.group;
+        state->rank = r;
+        mpi::Mpi mpi(system_, ctx, *nodes_[static_cast<std::size_t>(r)],
+                     system_.endpoint(world_.group->members[static_cast<std::size_t>(r)].ep),
+                     mpi::Comm(std::move(state)), std::nullopt);
+        fn(mpi);
+      });
+    }
+    engine_.run();
+  }
+
+ private:
+  sim::Engine engine_;
+  net::TorusFabric extoll_;
+  cbp::DirectTransport transport_;
+  mpi::MpiSystem system_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  mpi::MpiSystem::World world_;
+};
+
+/// Ranks split across the cluster (first half) and the booster (second
+/// half), joined by CBP gateways — the Global MPI of the paper.
+class BridgedMpiRig {
+ public:
+  BridgedMpiRig(int cluster_ranks, int booster_ranks, int gateways,
+                cbp::GatewayPolicy policy = cbp::GatewayPolicy::ByPair,
+                mpi::MpiParams params = {})
+      : ib_(engine_, "ib", {}),
+        extoll_(engine_, "extoll",
+                [] {
+                  net::TorusParams p;
+                  p.dims = {4, 4, 4};
+                  return p;
+                }()),
+        bridge_(engine_, ib_, extoll_,
+                [&] {
+                  cbp::BridgeParams bp;
+                  bp.policy = policy;
+                  return bp;
+                }()),
+        system_(engine_, bridge_, params) {
+    std::vector<hw::NodeId> node_ids;
+    hw::NodeId next = 0;
+    for (int i = 0; i < cluster_ranks; ++i, ++next) {
+      nodes_.push_back(std::make_unique<hw::Node>(next, "cn" + std::to_string(i),
+                                                  hw::xeon_cluster_node()));
+      ib_.attach(next);
+      bridge_.register_cluster_node(next);
+      node_ids.push_back(next);
+    }
+    for (int i = 0; i < booster_ranks; ++i, ++next) {
+      nodes_.push_back(std::make_unique<hw::Node>(next, "bn" + std::to_string(i),
+                                                  hw::knc_booster_node()));
+      extoll_.attach(next);
+      bridge_.register_booster_node(next);
+      node_ids.push_back(next);
+    }
+    for (int g = 0; g < gateways; ++g, ++next) {
+      nodes_.push_back(std::make_unique<hw::Node>(next, "bi" + std::to_string(g),
+                                                  hw::gateway_node()));
+      ib_.attach(next);
+      extoll_.attach(next);
+      bridge_.register_gateway(next);
+    }
+    world_ = system_.create_world(node_ids);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  mpi::MpiSystem& system() { return system_; }
+  cbp::BridgedTransport& bridge() { return bridge_; }
+
+  void run(const std::function<void(mpi::Mpi&)>& fn) {
+    const int n = world_.group->size();
+    for (int r = 0; r < n; ++r) {
+      engine_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+        auto state = std::make_shared<mpi::CommState>();
+        state->ctx_p2p = world_.ctx_p2p;
+        state->ctx_coll = world_.ctx_coll;
+        state->group = world_.group;
+        state->rank = r;
+        mpi::Mpi mpi(system_, ctx, *nodes_[static_cast<std::size_t>(r)],
+                     system_.endpoint(world_.group->members[static_cast<std::size_t>(r)].ep),
+                     mpi::Comm(std::move(state)), std::nullopt);
+        fn(mpi);
+      });
+    }
+    engine_.run();
+  }
+
+ private:
+  sim::Engine engine_;
+  net::CrossbarFabric ib_;
+  net::TorusFabric extoll_;
+  cbp::BridgedTransport bridge_;
+  mpi::MpiSystem system_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  mpi::MpiSystem::World world_;
+};
+
+}  // namespace deep::testing

@@ -1,0 +1,300 @@
+// Tests for the OmpSs-style dataflow runtime: dependency semantics, worker
+// scheduling, parallel speedup, taskwait, external tasks, stats.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/node.hpp"
+#include "ompss/runtime.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace ds = deep::sim;
+namespace dh = deep::hw;
+namespace dos = deep::ompss;
+
+namespace {
+
+/// Runs `body(master_ctx, runtime)` inside a master process on a KNC node.
+void with_runtime(int workers, const std::function<void(ds::Context&, dos::Runtime&,
+                                                        dh::Node&)>& body) {
+  ds::Engine eng;
+  dh::Node node(0, "bn0", dh::knc_booster_node());
+  eng.spawn("master", [&](ds::Context& ctx) {
+    dos::Runtime rt(ctx, node, workers);
+    body(ctx, rt, node);
+    rt.taskwait();
+  });
+  eng.run();
+}
+
+}  // namespace
+
+TEST(Ompss, SingleTaskRuns) {
+  bool ran = false;
+  with_runtime(4, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("t", {}, {1e6, 0, 0}, [&] { ran = true; });
+    rt.taskwait();
+    EXPECT_TRUE(ran);
+  });
+}
+
+TEST(Ompss, TaskwaitBlocksUntilDone) {
+  with_runtime(2, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost cost{1e9, 0, 0};
+    rt.submit("slow", {}, cost, [] {});
+    const auto t0 = ctx.now();
+    rt.taskwait();
+    const double expected = dh::compute_seconds(node.spec(), cost, 1);
+    EXPECT_NEAR((ctx.now() - t0).seconds(), expected, expected * 0.01);
+  });
+}
+
+TEST(Ompss, RawDependencyOrdersTasks) {
+  std::vector<int> order;
+  double value = 0.0;
+  with_runtime(8, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("writer", {dos::out(value)}, {1e8, 0, 0}, [&] {
+      order.push_back(1);
+      value = 42.0;
+    });
+    rt.submit("reader", {dos::in(value)}, {1e6, 0, 0}, [&] {
+      order.push_back(2);
+      EXPECT_EQ(value, 42.0);
+    });
+    rt.taskwait();
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Ompss, IndependentTasksRunInParallel) {
+  // 8 independent equal tasks on 8 workers must take ~1 task-time, not 8.
+  with_runtime(8, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost cost{1e9, 0, 0};
+    const auto t0 = ctx.now();
+    for (int i = 0; i < 8; ++i) rt.submit("p", {}, cost, [] {});
+    rt.taskwait();
+    const double one = dh::compute_seconds(node.spec(), cost, 1);
+    EXPECT_LT((ctx.now() - t0).seconds(), 1.5 * one);
+    EXPECT_EQ(rt.stats().max_parallelism, 8);
+  });
+}
+
+TEST(Ompss, WorkerLimitSerialises) {
+  with_runtime(2, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost cost{1e9, 0, 0};
+    const auto t0 = ctx.now();
+    for (int i = 0; i < 8; ++i) rt.submit("p", {}, cost, [] {});
+    rt.taskwait();
+    const double one = dh::compute_seconds(node.spec(), cost, 1);
+    // 8 tasks on 2 workers: 4 waves.
+    EXPECT_NEAR((ctx.now() - t0).seconds(), 4 * one, one * 0.1);
+    EXPECT_LE(rt.stats().max_parallelism, 2);
+  });
+}
+
+TEST(Ompss, WawAndWarDependencies) {
+  std::vector<int> order;
+  double a = 0.0;
+  with_runtime(8, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("w1", {dos::out(a)}, {1e8, 0, 0}, [&] { order.push_back(1); });
+    rt.submit("r1", {dos::in(a)}, {5e8, 0, 0}, [&] { order.push_back(2); });
+    rt.submit("w2", {dos::out(a)}, {1e6, 0, 0}, [&] { order.push_back(3); });
+    rt.taskwait();
+  });
+  // w2 must wait for the reader (WAR) which waits for w1 (RAW after WAW).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Ompss, DisjointRegionsDoNotDepend) {
+  double a = 0.0, b = 0.0;
+  with_runtime(4, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost cost{1e9, 0, 0};
+    const auto t0 = ctx.now();
+    rt.submit("wa", {dos::out(a)}, cost, [] {});
+    rt.submit("wb", {dos::out(b)}, cost, [] {});
+    rt.taskwait();
+    const double one = dh::compute_seconds(node.spec(), cost, 1);
+    EXPECT_LT((ctx.now() - t0).seconds(), 1.5 * one);  // ran concurrently
+  });
+}
+
+TEST(Ompss, OverlappingArrayRegionsDetected) {
+  std::vector<double> data(100);
+  auto span_all = std::span<double>(data);
+  std::vector<int> order;
+  with_runtime(8, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("whole", {dos::out(span_all)}, {1e8, 0, 0},
+              [&] { order.push_back(1); });
+    // Writes elements 50..59 — overlaps the whole-array write.
+    auto sub = span_all.subspan(50, 10);
+    rt.submit("part", {dos::inout(sub)}, {1e6, 0, 0},
+              [&] { order.push_back(2); });
+    rt.taskwait();
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Ompss, DiamondDag) {
+  // a -> (b, c) -> d: classic diamond; d sees both updates.
+  double x = 0.0, y = 0.0, z = 0.0;
+  with_runtime(4, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("a", {dos::out(x)}, {1e7, 0, 0}, [&] { x = 1.0; });
+    rt.submit("b", {dos::in(x), dos::out(y)}, {1e8, 0, 0}, [&] { y = x + 1; });
+    rt.submit("c", {dos::in(x), dos::out(z)}, {2e8, 0, 0}, [&] { z = x + 2; });
+    rt.submit("d", {dos::in(y), dos::in(z)}, {1e6, 0, 0}, [&] {
+      EXPECT_DOUBLE_EQ(y, 2.0);
+      EXPECT_DOUBLE_EQ(z, 3.0);
+    });
+    rt.taskwait();
+    EXPECT_EQ(rt.stats().dependency_edges, 4);
+  });
+}
+
+TEST(Ompss, ChainCriticalPathTracked) {
+  double v = 0.0;
+  with_runtime(8, [&](ds::Context&, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost cost{1e9, 0, 0};
+    for (int i = 0; i < 5; ++i)
+      rt.submit("link", {dos::inout(v)}, cost, [] {});
+    rt.taskwait();
+    const double one = dh::compute_seconds(node.spec(), cost, 1);
+    EXPECT_NEAR(rt.stats().critical_path_seconds, 5 * one, 1e-9);
+    EXPECT_NEAR(rt.stats().total_task_seconds, 5 * one, 1e-9);
+    EXPECT_EQ(rt.stats().max_parallelism, 1);  // a chain cannot overlap
+  });
+}
+
+TEST(Ompss, SecondWaveAfterTaskwait) {
+  int runs = 0;
+  with_runtime(4, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("first", {}, {1e6, 0, 0}, [&] { ++runs; });
+    rt.taskwait();
+    EXPECT_EQ(runs, 1);
+    rt.submit("second", {}, {1e6, 0, 0}, [&] { ++runs; });
+    rt.taskwait();
+    EXPECT_EQ(runs, 2);
+  });
+}
+
+TEST(Ompss, ExternalTaskRunsOnMasterDuringTaskwait) {
+  double a = 0.0;
+  bool external_ran = false;
+  with_runtime(2, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    rt.submit("producer", {dos::out(a)}, {1e8, 0, 0}, [&] { a = 7.0; });
+    rt.submit_external("offload", {dos::in(a)}, [&] {
+      external_ran = true;
+      EXPECT_DOUBLE_EQ(a, 7.0);  // dependency respected
+    });
+    rt.taskwait();
+    EXPECT_TRUE(external_ran);
+  });
+}
+
+TEST(Ompss, StatsCountTasks) {
+  with_runtime(4, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    for (int i = 0; i < 10; ++i) rt.submit("t", {}, {1e6, 0, 0}, [] {});
+    rt.taskwait();
+    EXPECT_EQ(rt.stats().tasks_submitted, 10);
+    EXPECT_EQ(rt.stats().tasks_executed, 10);
+  });
+}
+
+TEST(Ompss, EmptyBodyRejected) {
+  with_runtime(1, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    EXPECT_THROW(rt.submit("bad", {}, {}, nullptr), deep::util::UsageError);
+  });
+}
+
+TEST(Ompss, TooManyWorkersRejected) {
+  ds::Engine eng;
+  dh::Node node(0, "bn0", dh::knc_booster_node());
+  eng.spawn("master", [&](ds::Context& ctx) {
+    EXPECT_THROW(dos::Runtime(ctx, node, node.spec().cores + 1),
+                 deep::util::UsageError);
+  });
+  eng.run();
+}
+
+TEST(Ompss, SpeedupScalesWithWorkers) {
+  // The paper's whole premise for the booster: many small cores, task
+  // parallelism extracts the speedup.
+  auto makespan = [](int workers) {
+    double seconds = 0.0;
+    with_runtime(workers, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node&) {
+      const auto t0 = ctx.now();
+      for (int i = 0; i < 60; ++i) rt.submit("t", {}, {5e8, 0, 0}, [] {});
+      rt.taskwait();
+      seconds = (ctx.now() - t0).seconds();
+    });
+    return seconds;
+  };
+  const double t1 = makespan(1);
+  const double t15 = makespan(15);
+  const double t60 = makespan(60);
+  EXPECT_NEAR(t1 / t15, 15.0, 1.0);
+  EXPECT_NEAR(t1 / t60, 60.0, 4.0);
+}
+
+TEST(Ompss, RegionHelpersCoverValueAndSpan) {
+  double v = 0.0;
+  std::vector<int> arr(10);
+  const auto r1 = dos::in(v);
+  EXPECT_EQ(r1.bytes, sizeof(double));
+  EXPECT_EQ(r1.access, dos::Access::In);
+  const auto r2 = dos::out(std::span<int>(arr));
+  EXPECT_EQ(r2.bytes, 40u);
+  EXPECT_TRUE(r2.writes());
+  const auto r3 = dos::inout(v);
+  EXPECT_TRUE(r3.reads());
+  EXPECT_TRUE(r3.writes());
+  EXPECT_TRUE(r1.overlaps(r3));
+  EXPECT_FALSE(r1.overlaps(r2));
+}
+
+TEST(Ompss, PriorityTasksRunFirst) {
+  std::vector<int> order;
+  with_runtime(1, [&](ds::Context&, dos::Runtime& rt, dh::Node&) {
+    // One worker: after the gate task, the high-priority task must be
+    // picked before the two earlier-submitted low-priority ones.
+    double gate = 0.0;
+    rt.submit("gate", {dos::out(gate)}, {1e8, 0, 0}, [] {});
+    rt.submit("low1", {dos::in(gate)}, {1e6, 0, 0}, [&] { order.push_back(1); },
+              0);
+    rt.submit("low2", {dos::in(gate)}, {1e6, 0, 0}, [&] { order.push_back(2); },
+              0);
+    rt.submit("high", {dos::in(gate)}, {1e6, 0, 0}, [&] { order.push_back(3); },
+              10);
+    rt.taskwait();
+  });
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(Ompss, TaskwaitOnWaitsOnlyForOverlappingTasks) {
+  double a = 0.0, b = 0.0;
+  with_runtime(2, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node& node) {
+    const dh::KernelCost fast{1e8, 0, 0}, slow{1e10, 0, 0};
+    rt.submit("fast-a", {dos::out(a)}, fast, [&] { a = 1.0; });
+    rt.submit("slow-b", {dos::out(b)}, slow, [&] { b = 2.0; });
+    const auto t0 = ctx.now();
+    rt.taskwait_on({dos::in(a)});
+    EXPECT_DOUBLE_EQ(a, 1.0);  // the `a` writer completed
+    const double waited = (ctx.now() - t0).seconds();
+    const double slow_s = dh::compute_seconds(node.spec(), slow, 1);
+    EXPECT_LT(waited, slow_s / 2);  // did NOT wait for the slow b task
+    rt.taskwait();
+    EXPECT_DOUBLE_EQ(b, 2.0);
+  });
+}
+
+TEST(Ompss, TaskwaitOnDisjointRegionReturnsImmediately) {
+  double a = 0.0, c = 0.0;
+  with_runtime(1, [&](ds::Context& ctx, dos::Runtime& rt, dh::Node&) {
+    rt.submit("writer", {dos::out(a)}, {1e10, 0, 0}, [] {});
+    const auto t0 = ctx.now();
+    rt.taskwait_on({dos::in(c)});  // nothing touches c
+    EXPECT_EQ((ctx.now() - t0).ps, 0);
+    rt.taskwait();
+  });
+}

@@ -1,0 +1,263 @@
+// Property-based tests: invariants checked over parameter sweeps and
+// deterministic fuzzing.
+//
+//   * torus hop counts equal BFS shortest-path distances on the torus graph
+//     for arbitrary (including asymmetric and degenerate) dimensions;
+//   * MPI point-to-point delivers correct data for any eager threshold
+//     (the protocol choice is invisible to the application);
+//   * randomised communication scripts produce identical results across
+//     repeated runs (determinism) and deliver every message exactly once;
+//   * energy accounting is additive and monotone.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "hw/energy.hpp"
+#include "mpi_rig.hpp"
+#include "net/torus.hpp"
+#include "util/rng.hpp"
+
+namespace dh = deep::hw;
+namespace dm = deep::mpi;
+namespace dn = deep::net;
+namespace ds = deep::sim;
+namespace du = deep::util;
+using deep::testing::MpiRig;
+
+// ---------------------------------------------------------------------------
+// Torus routing vs BFS ground truth
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int bfs_distance(const std::array<int, 3>& dims, dn::TorusCoord from,
+                 dn::TorusCoord to) {
+  const auto index = [&](const dn::TorusCoord& c) {
+    return (c.z * dims[1] + c.y) * dims[0] + c.x;
+  };
+  std::vector<int> dist(static_cast<std::size_t>(dims[0] * dims[1] * dims[2]), -1);
+  std::queue<dn::TorusCoord> queue;
+  dist[static_cast<std::size_t>(index(from))] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    const dn::TorusCoord c = queue.front();
+    queue.pop();
+    const int d = dist[static_cast<std::size_t>(index(c))];
+    if (c == to) return d;
+    const auto visit = [&](dn::TorusCoord n) {
+      auto& slot = dist[static_cast<std::size_t>(index(n))];
+      if (slot == -1) {
+        slot = d + 1;
+        queue.push(n);
+      }
+    };
+    // A dimension of size 1 or 2 has no distinct +/- neighbours twice over,
+    // but visiting duplicates is harmless for BFS.
+    visit({(c.x + 1) % dims[0], c.y, c.z});
+    visit({(c.x - 1 + dims[0]) % dims[0], c.y, c.z});
+    visit({c.x, (c.y + 1) % dims[1], c.z});
+    visit({c.x, (c.y - 1 + dims[1]) % dims[1], c.z});
+    visit({c.x, c.y, (c.z + 1) % dims[2]});
+    visit({c.x, c.y, (c.z - 1 + dims[2]) % dims[2]});
+  }
+  return dist[static_cast<std::size_t>(index(to))];
+}
+
+}  // namespace
+
+class TorusShapes : public ::testing::TestWithParam<std::array<int, 3>> {};
+
+TEST_P(TorusShapes, HopsMatchBfsShortestPath) {
+  const auto dims = GetParam();
+  ds::Engine eng;
+  dn::TorusParams params;
+  params.dims = dims;
+  dn::TorusFabric torus(eng, "t", params);
+  for (int x = 0; x < dims[0]; ++x)
+    for (int y = 0; y < dims[1]; ++y)
+      for (int z = 0; z < dims[2]; ++z) {
+        const dn::TorusCoord to{x, y, z};
+        ASSERT_EQ(torus.hops({0, 0, 0}, to), bfs_distance(dims, {0, 0, 0}, to))
+            << "dims " << dims[0] << "x" << dims[1] << "x" << dims[2] << " to ("
+            << x << "," << y << "," << z << ")";
+      }
+  // And from a non-origin coordinate, sampled.
+  const dn::TorusCoord from{dims[0] - 1, dims[1] / 2, 0};
+  for (int x = 0; x < dims[0]; ++x) {
+    const dn::TorusCoord to{x, 0, dims[2] - 1};
+    ASSERT_EQ(torus.hops(from, to), bfs_distance(dims, from, to));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, TorusShapes,
+    ::testing::Values(std::array<int, 3>{1, 1, 1}, std::array<int, 3>{2, 1, 1},
+                      std::array<int, 3>{3, 1, 1}, std::array<int, 3>{2, 2, 2},
+                      std::array<int, 3>{4, 4, 4}, std::array<int, 3>{5, 3, 2},
+                      std::array<int, 3>{7, 2, 1}, std::array<int, 3>{3, 3, 3},
+                      std::array<int, 3>{8, 8, 1}, std::array<int, 3>{6, 5, 4}));
+
+// ---------------------------------------------------------------------------
+// Eager threshold is semantically invisible
+// ---------------------------------------------------------------------------
+
+class EagerThresholdSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(EagerThresholdSweep, DataIntactForAnyProtocolChoice) {
+  dm::MpiParams params;
+  params.eager_threshold = GetParam();
+  MpiRig rig(3, params);
+  rig.run([](dm::Mpi& mpi) {
+    du::Rng rng(17);
+    // A deterministic script of mixed-size messages 0 -> {1,2}.
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t bytes = 1u << (i % 12);  // 1 B .. 2 KiB and beyond
+      std::vector<std::uint8_t> buf(bytes + i);
+      if (mpi.rank() == 0) {
+        for (std::size_t j = 0; j < buf.size(); ++j)
+          buf[j] = static_cast<std::uint8_t>((i * 131 + j * 7) & 0xff);
+        mpi.send<std::uint8_t>(mpi.world(), 1 + i % 2, i,
+                               std::span<const std::uint8_t>(buf));
+      } else if (mpi.rank() == 1 + i % 2) {
+        mpi.recv<std::uint8_t>(mpi.world(), 0, i, std::span<std::uint8_t>(buf));
+        for (std::size_t j = 0; j < buf.size(); ++j)
+          ASSERT_EQ(buf[j], static_cast<std::uint8_t>((i * 131 + j * 7) & 0xff));
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EagerThresholdSweep,
+                         ::testing::Values(0, 1, 16, 256, 4096, 1 << 20));
+
+// ---------------------------------------------------------------------------
+// Randomised communication scripts: exactly-once delivery + determinism
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs a deterministic random script on n ranks; each rank sends `rounds`
+/// messages to random peers with random tags/sizes, then all-to-all counts
+/// are reconciled.  Returns a digest of all receive completions.
+std::vector<std::int64_t> run_random_script(int n, int rounds,
+                                            std::uint64_t seed) {
+  MpiRig rig(n);
+  std::vector<std::int64_t> digest;
+  rig.run([&](dm::Mpi& mpi) {
+    du::Rng rng(seed + static_cast<std::uint64_t>(mpi.rank()) * 1000003);
+    // Decide this rank's sends.
+    std::vector<int> sends_to(static_cast<std::size_t>(n), 0);
+    std::vector<dm::RequestPtr> reqs;
+    std::vector<std::vector<std::uint8_t>> buffers;
+    for (int i = 0; i < rounds; ++i) {
+      const int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const std::size_t bytes = 1 + rng.below(8192);
+      buffers.emplace_back(bytes, static_cast<std::uint8_t>(mpi.rank()));
+      reqs.push_back(mpi.isend<std::uint8_t>(
+          mpi.world(), dst, 1000 + mpi.rank(),
+          std::span<const std::uint8_t>(buffers.back())));
+      ++sends_to[static_cast<std::size_t>(dst)];
+    }
+    // Everyone learns how many messages to expect from everyone.
+    std::vector<int> expect(static_cast<std::size_t>(n));
+    mpi.alltoall<int>(mpi.world(), sends_to, std::span<int>(expect));
+    std::int64_t received = 0, received_bytes = 0;
+    for (int src = 0; src < n; ++src) {
+      for (int k = 0; k < expect[static_cast<std::size_t>(src)]; ++k) {
+        std::vector<std::uint8_t> buf(16384);
+        const auto st = mpi.recv<std::uint8_t>(mpi.world(), src, 1000 + src,
+                                               std::span<std::uint8_t>(buf));
+        ASSERT_EQ(buf[0], static_cast<std::uint8_t>(src));
+        ++received;
+        received_bytes += st.bytes;
+      }
+    }
+    mpi.wait_all(reqs);
+    // Exactly-once: global receive count equals global send count.
+    const std::vector<std::int64_t> mine{received, received_bytes,
+                                         mpi.ctx().now().ps};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(3 * n));
+    mpi.allgather<std::int64_t>(mpi.world(), std::span<const std::int64_t>(mine),
+                                std::span<std::int64_t>(all));
+    if (mpi.rank() == 0) digest = all;
+  });
+  return digest;
+}
+
+}  // namespace
+
+class RandomScriptSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(RandomScriptSweep, ExactlyOnceAndDeterministic) {
+  const auto [n, seed] = GetParam();
+  constexpr int kRounds = 15;
+  const auto digest1 = run_random_script(n, kRounds, seed);
+  ASSERT_FALSE(digest1.empty());
+  std::int64_t total_received = 0;
+  for (int r = 0; r < n; ++r) total_received += digest1[static_cast<std::size_t>(3 * r)];
+  EXPECT_EQ(total_received, static_cast<std::int64_t>(n) * kRounds);
+  // Bit-identical repeat.
+  EXPECT_EQ(run_random_script(n, kRounds, seed), digest1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scripts, RandomScriptSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 7),
+                                            ::testing::Values(1u, 42u, 777u)));
+
+// ---------------------------------------------------------------------------
+// Energy accounting properties
+// ---------------------------------------------------------------------------
+
+TEST(EnergyProperty, AdditiveAndMonotone) {
+  const auto spec = dh::knc_booster_node();
+  dh::EnergyMeter a(spec), b(spec);
+  du::Rng rng(5);
+  double total_busy = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = ds::from_micros(rng.uniform(1.0, 500.0));
+    const int cores = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(spec.cores)));
+    a.add_busy(d, cores);
+    b.add_busy(d, cores);
+    total_busy += d.seconds() * cores;
+    // Energy grows monotonically with the observation interval.
+    const double j1 = a.joules(ds::milliseconds(100));
+    const double j2 = a.joules(ds::milliseconds(200));
+    ASSERT_LT(j1, j2);
+  }
+  EXPECT_DOUBLE_EQ(a.busy_core_seconds(), total_busy);
+  // Two meters fed identically agree exactly.
+  EXPECT_DOUBLE_EQ(a.joules(ds::seconds_i(1)), b.joules(ds::seconds_i(1)));
+  // Energy is bounded by idle..peak envelope.
+  const double t = 1.0;
+  const double j = a.joules(ds::seconds_i(1));
+  EXPECT_GE(j, spec.idle_watts * t);
+}
+
+TEST(ComputeProperty, TimeScalesLinearlyWithWork) {
+  const auto spec = dh::xeon_cluster_node();
+  du::Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const double flops = rng.uniform(1e6, 1e12);
+    const double t1 = dh::compute_seconds(spec, {flops, 0, 0}, 4);
+    const double t2 = dh::compute_seconds(spec, {2 * flops, 0, 0}, 4);
+    ASSERT_NEAR(t2 / t1, 2.0, 1e-9);
+  }
+}
+
+TEST(ComputeProperty, RooflineIsMaxOfBothTerms) {
+  const auto spec = dh::knc_booster_node();
+  du::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const double flops = rng.uniform(1e3, 1e12);
+    const double bytes = rng.uniform(1e3, 1e12);
+    const int cores = 1 + static_cast<int>(rng.below(60));
+    const double t = dh::compute_seconds(spec, {flops, bytes, 0}, cores);
+    const double t_flops = dh::compute_seconds(spec, {flops, 0, 0}, cores);
+    const double t_mem = dh::compute_seconds(spec, {0, bytes, 0}, cores);
+    ASSERT_NEAR(t, std::max(t_flops, t_mem), 1e-12);
+  }
+}

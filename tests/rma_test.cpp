@@ -1,0 +1,329 @@
+// Tests for one-sided communication (the EXTOLL RMA engine): windows,
+// put/get, fence synchronisation, bounds checking, halo exchange by puts.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi_rig.hpp"
+#include "util/error.hpp"
+
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+using deep::testing::BoosterRig;
+using deep::testing::BridgedMpiRig;
+using deep::testing::MpiRig;
+
+TEST(Rma, PutBecomesVisibleAfterFence) {
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<double> local(8, -1.0);
+    auto win = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<double>(local)));
+    if (mpi.rank() == 0) {
+      const std::vector<double> data{1.0, 2.0, 3.0};
+      mpi.put<double>(win, 1, 2, std::span<const double>(data));
+    }
+    mpi.fence(win);
+    if (mpi.rank() == 1) {
+      EXPECT_EQ(local[1], -1.0);
+      EXPECT_EQ(local[2], 1.0);
+      EXPECT_EQ(local[3], 2.0);
+      EXPECT_EQ(local[4], 3.0);
+      EXPECT_EQ(local[5], -1.0);
+    }
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, GetReadsRemoteMemory) {
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<int> local(4, mpi.rank() * 100);
+    auto win = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(local)));
+    std::vector<int> fetched(4);
+    const dm::Rank peer = 1 - mpi.rank();
+    mpi.get<int>(win, peer, 0, std::span<int>(fetched));
+    for (int v : fetched) EXPECT_EQ(v, peer * 100);
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, ManyConcurrentPutsAllLand) {
+  MpiRig rig(4);
+  rig.run([](dm::Mpi& mpi) {
+    // Everyone puts its rank into its slot of everyone else's window.
+    std::vector<int> local(4, -1);
+    auto win = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(local)));
+    const std::vector<int> me{mpi.rank()};
+    for (int r = 0; r < mpi.size(); ++r)
+      mpi.put<int>(win, r, mpi.rank(), std::span<const int>(me));
+    mpi.fence(win);
+    for (int r = 0; r < mpi.size(); ++r) EXPECT_EQ(local[static_cast<std::size_t>(r)], r);
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, FenceOrdersPutsBetweenEpochs) {
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<int> local(1, 0);
+    auto win = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(local)));
+    for (int epoch = 1; epoch <= 5; ++epoch) {
+      if (mpi.rank() == 0) {
+        const std::vector<int> v{epoch};
+        mpi.put<int>(win, 1, 0, std::span<const int>(v));
+      }
+      mpi.fence(win);
+      if (mpi.rank() == 1) {
+        EXPECT_EQ(local[0], epoch);
+      }
+      mpi.fence(win);
+    }
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, LargePutUsesBulkPath) {
+  // > eager threshold: the put must still land intact (RMA bulk path).
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<std::uint8_t> local(1 << 20, 0);
+    auto win = mpi.win_create(
+        mpi.world(), std::as_writable_bytes(std::span<std::uint8_t>(local)));
+    if (mpi.rank() == 0) {
+      std::vector<std::uint8_t> data(1 << 20);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+      mpi.put<std::uint8_t>(win, 1, 0, std::span<const std::uint8_t>(data));
+    }
+    mpi.fence(win);
+    if (mpi.rank() == 1) {
+      bool ok = true;
+      for (std::size_t i = 0; i < local.size(); i += 4097)
+        ok = ok && local[i] == static_cast<std::uint8_t>(i * 2654435761u >> 24);
+      EXPECT_TRUE(ok);
+    }
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, OutOfBoundsAccessRejected) {
+  MpiRig rig(2);
+  EXPECT_THROW(rig.run([](dm::Mpi& mpi) {
+                 std::vector<int> local(4);
+                 auto win = mpi.win_create(
+                     mpi.world(), std::as_writable_bytes(std::span<int>(local)));
+                 if (mpi.rank() == 0) {
+                   const std::vector<int> v{1, 2, 3};
+                   mpi.put<int>(win, 1, 2, std::span<const int>(v));  // 2+3 > 4
+                 }
+                 mpi.fence(win);
+               }),
+               deep::util::UsageError);
+}
+
+TEST(Rma, GetAcrossClusterBoosterBoundary) {
+  BridgedMpiRig rig(1, 1, 1);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<double> local(2, mpi.rank() == 1 ? 42.0 : 0.0);
+    auto win = mpi.win_create(mpi.world(),
+                              std::as_writable_bytes(std::span<double>(local)));
+    if (mpi.rank() == 0) {  // cluster rank reads booster memory through CBP
+      std::vector<double> fetched(2);
+      mpi.get<double>(win, 1, 0, std::span<double>(fetched));
+      EXPECT_EQ(fetched[0], 42.0);
+    }
+    mpi.fence(win);
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, HaloExchangeByPuts) {
+  // Ring halo exchange done one-sided on the torus: each rank puts its
+  // boundary value into the neighbour's halo slot.
+  BoosterRig rig(8);
+  rig.run([](dm::Mpi& mpi) {
+    // layout: [left_halo, interior..., right_halo]
+    std::vector<double> field(6, static_cast<double>(mpi.rank()));
+    auto win = mpi.win_create(mpi.world(),
+                              std::as_writable_bytes(std::span<double>(field)));
+    const int n = mpi.size();
+    const dm::Rank right = (mpi.rank() + 1) % n;
+    const dm::Rank left = (mpi.rank() - 1 + n) % n;
+    const std::vector<double> my_right{field[4]};  // last interior cell
+    const std::vector<double> my_left{field[1]};   // first interior cell
+    mpi.put<double>(win, right, 0, std::span<const double>(my_right));
+    mpi.put<double>(win, left, 5, std::span<const double>(my_left));
+    mpi.fence(win);
+    EXPECT_EQ(field[0], static_cast<double>(left));
+    EXPECT_EQ(field[5], static_cast<double>(right));
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, TwoWindowsCoexist) {
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<int> a(2, 0), b(2, 0);
+    auto wa = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(a)));
+    auto wb = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(b)));
+    if (mpi.rank() == 0) {
+      const std::vector<int> va{1}, vb{2};
+      mpi.put<int>(wa, 1, 0, std::span<const int>(va));
+      mpi.put<int>(wb, 1, 0, std::span<const int>(vb));
+    }
+    mpi.fence(wa);
+    mpi.fence(wb);
+    if (mpi.rank() == 1) {
+      EXPECT_EQ(a[0], 1);
+      EXPECT_EQ(b[0], 2);
+    }
+    mpi.win_free(wa);
+    mpi.win_free(wb);
+  });
+}
+
+TEST(Rma, NullWindowRejected) {
+  MpiRig rig(1);
+  rig.run([](dm::Mpi& mpi) {
+    dm::Mpi::Window null_window;
+    EXPECT_THROW(mpi.fence(null_window), deep::util::UsageError);
+    std::vector<std::byte> buf(4);
+    EXPECT_THROW(mpi.put(null_window, 0, 0, buf), deep::util::UsageError);
+    EXPECT_THROW(mpi.win_free(null_window), deep::util::UsageError);
+  });
+}
+
+TEST(Rma, PutGetMixedWithTwoSided) {
+  // One-sided traffic must not disturb tag matching on the same flow.
+  MpiRig rig(2);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<int> local(2, 0);
+    auto win = mpi.win_create(mpi.world(), std::as_writable_bytes(std::span<int>(local)));
+    if (mpi.rank() == 0) {
+      const std::vector<int> v{7};
+      mpi.put<int>(win, 1, 0, std::span<const int>(v));
+      mpi.send<int>(mpi.world(), 1, 3, std::span<const int>(v));
+      mpi.put<int>(win, 1, 1, std::span<const int>(v));
+    } else {
+      std::vector<int> r(1);
+      mpi.recv<int>(mpi.world(), 0, 3, std::span<int>(r));
+      EXPECT_EQ(r[0], 7);
+    }
+    mpi.fence(win);
+    if (mpi.rank() == 1) {
+      EXPECT_EQ(local[0], 7);
+      EXPECT_EQ(local[1], 7);
+    }
+    mpi.win_free(win);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Accumulate (MPI_Accumulate)
+// ---------------------------------------------------------------------------
+
+TEST(Rma, AccumulateSumsContributions) {
+  MpiRig rig(4);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<double> local(2, 0.0);
+    auto win = mpi.win_create(mpi.world(),
+                              std::as_writable_bytes(std::span<double>(local)));
+    // Everyone accumulates its rank+1 into rank 0's both slots.
+    const std::vector<double> v{static_cast<double>(mpi.rank() + 1),
+                                static_cast<double>(10 * (mpi.rank() + 1))};
+    mpi.accumulate<double>(win, 0, 0, dm::Op::Sum, std::span<const double>(v));
+    mpi.fence(win);
+    if (mpi.rank() == 0) {
+      EXPECT_DOUBLE_EQ(local[0], 1 + 2 + 3 + 4);
+      EXPECT_DOUBLE_EQ(local[1], 10 + 20 + 30 + 40);
+    }
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, AccumulateMaxInt64) {
+  MpiRig rig(3);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<std::int64_t> local(1, -1);
+    auto win = mpi.win_create(
+        mpi.world(), std::as_writable_bytes(std::span<std::int64_t>(local)));
+    const std::vector<std::int64_t> v{(mpi.rank() * 7 + 3) % 20};
+    mpi.accumulate<std::int64_t>(win, 0, 0, dm::Op::Max,
+                                 std::span<const std::int64_t>(v));
+    mpi.fence(win);
+    if (mpi.rank() == 0) {
+      EXPECT_EQ(local[0], std::max({3ll % 20, 10ll % 20, 17ll % 20}));
+    }
+    mpi.win_free(win);
+  });
+}
+
+TEST(Rma, AccumulateHistogramPattern) {
+  // The classic use: concurrent histogram updates with no receiver code.
+  MpiRig rig(4);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<std::int64_t> bins(8, 0);
+    auto win = mpi.win_create(
+        mpi.world(), std::as_writable_bytes(std::span<std::int64_t>(bins)));
+    const std::vector<std::int64_t> one{1};
+    for (int i = 0; i < 16; ++i) {
+      const dm::Rank owner = i % mpi.size();
+      const std::int64_t bin = (i * 3 + mpi.rank()) % 8;
+      mpi.accumulate<std::int64_t>(win, owner, bin, dm::Op::Sum,
+                                   std::span<const std::int64_t>(one));
+    }
+    mpi.fence(win);
+    std::int64_t local_total = 0;
+    for (const auto b : bins) local_total += b;
+    std::int64_t global[1];
+    const std::int64_t in[1] = {local_total};
+    mpi.allreduce<std::int64_t>(mpi.world(), dm::Op::Sum,
+                                std::span<const std::int64_t>(in, 1),
+                                std::span<std::int64_t>(global, 1));
+    EXPECT_EQ(global[0], 16 * 4);  // every increment landed exactly once
+    mpi.win_free(win);
+  });
+}
+
+// Property sweep: put/get round trips across sizes, offsets and rank counts.
+class RmaSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RmaSweep, PutGetRoundTripEverywhere) {
+  const auto [n, log_bytes] = GetParam();
+  const std::size_t elems = (1u << log_bytes) / sizeof(double);
+  MpiRig rig(n);
+  rig.run([&](dm::Mpi& mpi) {
+    // Window holds one slot of `elems` doubles per remote rank.
+    std::vector<double> local(elems * static_cast<std::size_t>(n), -1.0);
+    auto win = mpi.win_create(mpi.world(),
+                              std::as_writable_bytes(std::span<double>(local)));
+    // Put a recognisable pattern into our slot of every rank's window.
+    std::vector<double> mine(elems);
+    for (std::size_t i = 0; i < elems; ++i)
+      mine[i] = mpi.rank() * 1000.0 + static_cast<double>(i);
+    for (int r = 0; r < n; ++r)
+      mpi.put<double>(win, r,
+                      static_cast<std::int64_t>(elems) * mpi.rank(),
+                      std::span<const double>(mine));
+    mpi.fence(win);
+    for (int r = 0; r < n; ++r) {
+      for (std::size_t i = 0; i < elems; i += std::max<std::size_t>(1, elems / 7))
+        ASSERT_DOUBLE_EQ(local[static_cast<std::size_t>(r) * elems + i],
+                         r * 1000.0 + static_cast<double>(i));
+    }
+    // And read a peer's slot back one-sided.
+    const dm::Rank peer = (mpi.rank() + 1) % n;
+    std::vector<double> fetched(elems);
+    mpi.get<double>(win, peer, static_cast<std::int64_t>(elems) * peer,
+                    std::span<double>(fetched));
+    for (std::size_t i = 0; i < elems; i += std::max<std::size_t>(1, elems / 5))
+      ASSERT_DOUBLE_EQ(fetched[i], peer * 1000.0 + static_cast<double>(i));
+    mpi.win_free(win);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndRanks, RmaSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 8),
+                                            ::testing::Values(3, 10, 17)));

@@ -1,0 +1,112 @@
+// Paper-scale stress tests: the real DEEP prototype had 128 cluster nodes
+// and 384 booster nodes (24 x 16 torus cards).  These tests bring up the
+// full-size machine, run a coupled workload end to end, and check
+// determinism at scale.
+
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "sys/system.hpp"
+#include "util/error.hpp"
+
+namespace da = deep::apps;
+namespace dm = deep::mpi;
+namespace ds = deep::sim;
+namespace dsy = deep::sys;
+
+namespace {
+
+dsy::SystemConfig paper_scale() {
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 128;
+  cfg.booster_nodes = 384;
+  cfg.gateways = 8;
+  return cfg;
+}
+
+constexpr dm::Tag kResTag = 60;
+
+}  // namespace
+
+TEST(PaperScale, FullMachineBringUp) {
+  dsy::DeepSystem sys(paper_scale());
+  EXPECT_EQ(sys.resource_manager().total_nodes(), 384);
+  // The torus auto-derived to hold 384 + 8 nodes.
+  const auto& dims = sys.extoll().params().dims;
+  EXPECT_GE(dims[0] * dims[1] * dims[2], 392);
+}
+
+TEST(PaperScale, WideClusterCollectives) {
+  dsy::DeepSystem sys(paper_scale());
+  int sum = -1;
+  sys.programs().add("wide", [&](dsy::ProgramEnv& env) {
+    const std::vector<int> mine{env.mpi.rank()};
+    std::vector<int> out(1);
+    env.mpi.allreduce<int>(env.mpi.world(), dm::Op::Sum,
+                           std::span<const int>(mine), std::span<int>(out));
+    std::vector<int> all(static_cast<std::size_t>(env.mpi.size()));
+    env.mpi.allgather<int>(env.mpi.world(), std::span<const int>(mine),
+                           std::span<int>(all));
+    for (int r = 0; r < env.mpi.size(); ++r)
+      ASSERT_EQ(all[static_cast<std::size_t>(r)], r);
+    if (env.mpi.rank() == 0) sum = out[0];
+  });
+  sys.launch("wide", 128);
+  sys.run();
+  EXPECT_EQ(sum, 128 * 127 / 2);
+}
+
+TEST(PaperScale, WideSpawnUsesWholeBooster) {
+  dsy::DeepSystem sys(paper_scale());
+  int booster_world = 0;
+  sys.programs().add("hscp", [&](dsy::ProgramEnv& env) {
+    da::StencilConfig cfg;
+    cfg.nx = 64;
+    cfg.rows = 4;
+    cfg.iterations = 2;
+    const auto res = da::run_jacobi(env.mpi, env.mpi.world(), cfg);
+    if (env.mpi.rank() == 0) {
+      booster_world = env.mpi.size();
+      const double out[1] = {res.checksum};
+      env.mpi.send<double>(*env.mpi.parent(), 0, kResTag,
+                           std::span<const double>(out, 1));
+    }
+  });
+  double checksum = 0;
+  sys.programs().add("main", [&](dsy::ProgramEnv& env) {
+    auto inter = env.mpi.comm_spawn(env.mpi.world(), 0, "hscp", {}, 384);
+    if (env.mpi.rank() == 0) {
+      double res[1];
+      env.mpi.recv<double>(inter, 0, kResTag, res);
+      checksum = res[0];
+    }
+  });
+  sys.launch("main", 16);
+  sys.run();
+  EXPECT_EQ(booster_world, 384);
+  EXPECT_GT(checksum, 0.0);
+  EXPECT_EQ(sys.resource_manager().busy_nodes(), 0);  // released at exit
+}
+
+TEST(PaperScale, DeterministicAtScale) {
+  auto run_once = [] {
+    dsy::SystemConfig cfg = paper_scale();
+    cfg.cluster_nodes = 32;  // keep the repeat affordable
+    cfg.booster_nodes = 96;
+    dsy::DeepSystem sys(cfg);
+    sys.programs().add("hscp", [](dsy::ProgramEnv& env) {
+      da::StencilConfig scfg;
+      scfg.nx = 32;
+      scfg.rows = 4;
+      scfg.iterations = 2;
+      da::run_jacobi(env.mpi, env.mpi.world(), scfg);
+    });
+    sys.programs().add("main", [](dsy::ProgramEnv& env) {
+      env.mpi.comm_spawn(env.mpi.world(), 0, "hscp", {}, 96);
+    });
+    sys.launch("main", 32);
+    sys.run();
+    return std::pair(sys.engine().now().ps, sys.engine().events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,428 @@
+// Unit tests for the discrete-event engine: virtual time, event ordering,
+// process scheduling, wake semantics, mailboxes, deadlock detection and
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace ds = deep::sim;
+
+TEST(Time, ArithmeticAndConversions) {
+  const auto d = ds::microseconds(3) + ds::nanoseconds(500);
+  EXPECT_EQ(d.ps, 3'500'000);  // 3.5 us in ps
+  EXPECT_DOUBLE_EQ(d.micros(), 3.5);
+  EXPECT_DOUBLE_EQ((ds::milliseconds(2)).seconds(), 0.002);
+  const ds::TimePoint t{0};
+  EXPECT_EQ((t + ds::nanoseconds(10)).ps, 10'000);
+  EXPECT_EQ(((t + ds::microseconds(5)) - t).ps, ds::microseconds(5).ps);
+}
+
+TEST(Time, FromSecondsRoundsUp) {
+  // A positive physical duration must never collapse to zero virtual time.
+  EXPECT_GT(ds::from_seconds(1e-13).ps, 0);
+  EXPECT_EQ(ds::from_seconds(0.0).ps, 0);
+  EXPECT_EQ(ds::from_micros(1.0).ps, 1'000'000);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(ds::nanoseconds(2).str(), "2.00 ns");
+  EXPECT_EQ(ds::microseconds(15).str(), "15.00 us");
+  EXPECT_EQ(ds::picoseconds(3).str(), "3 ps");
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  ds::Engine eng;
+  std::vector<int> order;
+  eng.schedule_in(ds::nanoseconds(30), [&] { order.push_back(3); });
+  eng.schedule_in(ds::nanoseconds(10), [&] { order.push_back(1); });
+  eng.schedule_in(ds::nanoseconds(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now().ps, ds::nanoseconds(30).ps);
+}
+
+TEST(Engine, TieBreakIsFifo) {
+  ds::Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.schedule_in(ds::nanoseconds(5), [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  ds::Engine eng;
+  eng.schedule_in(ds::nanoseconds(10), [&] {
+    EXPECT_THROW(eng.schedule_at(ds::TimePoint{0}, [] {}), deep::util::UsageError);
+  });
+  eng.run();
+}
+
+TEST(Engine, NestedEventScheduling) {
+  ds::Engine eng;
+  int fired = 0;
+  eng.schedule_in(ds::nanoseconds(1), [&] {
+    eng.schedule_in(ds::nanoseconds(1), [&] {
+      eng.schedule_in(ds::nanoseconds(1), [&] { ++fired; });
+      ++fired;
+    });
+    ++fired;
+  });
+  eng.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eng.now().ps, ds::nanoseconds(3).ps);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  ds::Engine eng;
+  int fired = 0;
+  eng.schedule_in(ds::nanoseconds(10), [&] { ++fired; });
+  eng.schedule_in(ds::nanoseconds(20), [&] { ++fired; });
+  const bool more = eng.run_until(ds::TimePoint{} + ds::nanoseconds(15));
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now().ps, ds::nanoseconds(15).ps);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Process, DelayAdvancesVirtualTime) {
+  ds::Engine eng;
+  ds::TimePoint seen{};
+  eng.spawn("sleeper", [&](ds::Context& ctx) {
+    ctx.delay(ds::microseconds(5));
+    ctx.delay(ds::microseconds(7));
+    seen = ctx.now();
+  });
+  eng.run();
+  EXPECT_EQ(seen.ps, ds::microseconds(12).ps);
+}
+
+TEST(Process, ZeroDelayIsAllowed) {
+  ds::Engine eng;
+  bool done = false;
+  eng.spawn("p", [&](ds::Context& ctx) {
+    ctx.delay(ds::Duration{0});
+    done = true;
+  });
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Process, NegativeDelayThrows) {
+  ds::Engine eng;
+  eng.spawn("p", [&](ds::Context& ctx) {
+    EXPECT_THROW(ctx.delay(ds::Duration{-1}), deep::util::UsageError);
+  });
+  eng.run();
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  ds::Engine eng;
+  std::vector<std::string> trace;
+  eng.spawn("a", [&](ds::Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back("a" + std::to_string(i));
+      ctx.delay(ds::nanoseconds(10));
+    }
+  });
+  eng.spawn("b", [&](ds::Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back("b" + std::to_string(i));
+      ctx.delay(ds::nanoseconds(10));
+    }
+  });
+  eng.run();
+  // Spawn order breaks the tie at every step.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Process, WakeBeforeSuspendIsLatched) {
+  ds::Engine eng;
+  bool resumed = false;
+  auto& p = eng.spawn("w", [&](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(100));  // wake arrives while sleeping
+    ctx.suspend();                    // must return immediately
+    resumed = true;
+  });
+  eng.schedule_in(ds::nanoseconds(50), [&] { p.wake(); });
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Process, WakeResumesWaitingProcess) {
+  ds::Engine eng;
+  ds::TimePoint woken{};
+  auto& p = eng.spawn("w", [&](ds::Context& ctx) {
+    ctx.suspend();
+    woken = ctx.now();
+  });
+  eng.schedule_in(ds::microseconds(3), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(woken.ps, ds::microseconds(3).ps);
+}
+
+TEST(Process, MultipleWakesCollapse) {
+  ds::Engine eng;
+  int loops = 0;
+  auto& p = eng.spawn("w", [&](ds::Context& ctx) {
+    ctx.suspend();
+    ++loops;
+    ctx.suspend();  // second pending wake lets this return, third is collapsed
+    ++loops;
+  });
+  eng.schedule_in(ds::nanoseconds(10), [&] {
+    p.wake();
+    p.wake();
+    p.wake();
+  });
+  eng.schedule_in(ds::nanoseconds(20), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(loops, 2);
+}
+
+TEST(Process, SleepIsNotCutShortByWake) {
+  ds::Engine eng;
+  ds::TimePoint end{};
+  auto& p = eng.spawn("s", [&](ds::Context& ctx) {
+    ctx.delay(ds::microseconds(10));
+    end = ctx.now();
+    ctx.suspend();  // consumes the latched wake
+  });
+  eng.schedule_in(ds::microseconds(1), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(end.ps, ds::microseconds(10).ps);
+}
+
+TEST(Process, DeadlockDetected) {
+  ds::Engine eng;
+  eng.spawn("stuck", [](ds::Context& ctx) { ctx.suspend(); });
+  EXPECT_THROW(eng.run(), deep::util::SimError);
+}
+
+TEST(Process, DaemonMayOutliveSimulation) {
+  ds::Engine eng;
+  auto& p = eng.spawn("daemon", [](ds::Context& ctx) {
+    for (;;) ctx.suspend();
+  });
+  p.set_daemon(true);
+  eng.spawn("worker", [](ds::Context& ctx) { ctx.delay(ds::microseconds(1)); });
+  EXPECT_NO_THROW(eng.run());
+}
+
+TEST(Process, ExceptionPropagatesOutOfRun) {
+  ds::Engine eng;
+  eng.spawn("thrower", [](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(5));
+    throw std::runtime_error("kernel panic");
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Process, SpawnFromProcess) {
+  ds::Engine eng;
+  std::vector<std::string> trace;
+  eng.spawn("parent", [&](ds::Context& ctx) {
+    trace.push_back("parent");
+    ctx.engine().spawn("child", [&](ds::Context& cctx) {
+      trace.push_back("child");
+      cctx.delay(ds::nanoseconds(1));
+      trace.push_back("child-done");
+    });
+    ctx.delay(ds::nanoseconds(10));
+    trace.push_back("parent-done");
+  });
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"parent", "child", "child-done",
+                                             "parent-done"}));
+}
+
+TEST(Process, ManyProcessesScale) {
+  ds::Engine eng;
+  int done = 0;
+  constexpr int kProcs = 200;
+  for (int i = 0; i < kProcs; ++i) {
+    eng.spawn("p" + std::to_string(i), [&, i](ds::Context& ctx) {
+      ctx.delay(ds::nanoseconds(i));
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, kProcs);
+}
+
+TEST(Mailbox, PushThenReceive) {
+  ds::Engine eng;
+  ds::Mailbox<int> box;
+  int got = 0;
+  eng.spawn("consumer", [&](ds::Context& ctx) { got = box.receive(ctx); });
+  eng.schedule_in(ds::nanoseconds(10), [&] { box.push(42); });
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Mailbox, ReceiveBlocksUntilPush) {
+  ds::Engine eng;
+  ds::TimePoint got_at{};
+  ds::Mailbox<std::string> box;
+  eng.spawn("consumer", [&](ds::Context& ctx) {
+    EXPECT_EQ(box.receive(ctx), "hello");
+    got_at = ctx.now();
+  });
+  eng.schedule_in(ds::microseconds(2), [&] { box.push("hello"); });
+  eng.run();
+  EXPECT_EQ(got_at.ps, ds::microseconds(2).ps);
+}
+
+TEST(Mailbox, PreservesFifoOrder) {
+  ds::Engine eng;
+  ds::Mailbox<int> box;
+  std::vector<int> got;
+  eng.spawn("consumer", [&](ds::Context& ctx) {
+    for (int i = 0; i < 5; ++i) got.push_back(box.receive(ctx));
+  });
+  eng.schedule_in(ds::nanoseconds(1), [&] {
+    for (int i = 0; i < 5; ++i) box.push(i);
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mailbox, TryReceive) {
+  ds::Engine eng;
+  ds::Mailbox<int> box;
+  eng.spawn("consumer", [&](ds::Context& ctx) {
+    EXPECT_FALSE(box.try_receive(ctx).has_value());
+    box.push(9);
+    auto v = box.try_receive(ctx);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+  });
+  eng.run();
+}
+
+TEST(Mailbox, SecondConsumerRejected) {
+  ds::Engine eng;
+  ds::Mailbox<int> box;
+  box.push(1);
+  eng.spawn("c1", [&](ds::Context& ctx) { box.receive(ctx); });
+  eng.spawn("c2", [&](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(5));
+    EXPECT_THROW(box.try_receive(ctx), deep::util::UsageError);
+  });
+  eng.run();
+}
+
+TEST(Stats, SummaryMoments) {
+  ds::Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  ds::Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// Determinism: two runs of an identical mixed workload produce identical
+// event counts and final times.
+TEST(Determinism, IdenticalRunsMatch) {
+  auto run_once = [] {
+    ds::Engine eng;
+    std::vector<std::int64_t> trace;
+    ds::Mailbox<int> box;
+    eng.spawn("producer", [&](ds::Context& ctx) {
+      for (int i = 0; i < 20; ++i) {
+        ctx.delay(ds::nanoseconds(7 * (i % 3) + 1));
+        box.push(i);
+        trace.push_back(ctx.now().ps);
+      }
+    });
+    eng.spawn("consumer", [&](ds::Context& ctx) {
+      for (int i = 0; i < 20; ++i) {
+        const int v = box.receive(ctx);
+        ctx.delay(ds::nanoseconds(v % 5));
+        trace.push_back(ctx.now().ps);
+      }
+    });
+    eng.run();
+    trace.push_back(static_cast<std::int64_t>(eng.events_executed()));
+    trace.push_back(eng.now().ps);
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, RunUntilThenResumeWithProcesses) {
+  ds::Engine eng;
+  std::vector<int> hits;
+  eng.spawn("ticker", [&](ds::Context& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ctx.delay(ds::microseconds(10));
+      hits.push_back(i);
+    }
+  });
+  eng.run_until(ds::TimePoint{} + ds::microseconds(25));
+  EXPECT_EQ(hits.size(), 2u);  // ticks at 10 and 20 us
+  eng.run();
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(Engine, ExceptionInEventCallbackPropagates) {
+  ds::Engine eng;
+  eng.schedule_in(ds::nanoseconds(5),
+                  [] { throw std::logic_error("event exploded"); });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, ProcessCleanupRunsDestructorsOnKill) {
+  // A daemon still waiting at simulation end must unwind its stack.
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  {
+    ds::Engine eng;
+    auto& p = eng.spawn("daemon", [&](ds::Context& ctx) {
+      Sentinel s{&destroyed};
+      for (;;) ctx.suspend();
+    });
+    p.set_daemon(true);
+    eng.spawn("worker", [](ds::Context& ctx) { ctx.delay(ds::nanoseconds(1)); });
+    eng.run();
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  ds::Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_in(ds::nanoseconds(i), [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 7u);
+}
+
+TEST(Process, StateTransitionsVisible) {
+  ds::Engine eng;
+  auto& p = eng.spawn("p", [](ds::Context& ctx) { ctx.delay(ds::nanoseconds(5)); });
+  EXPECT_EQ(p.state(), ds::Process::State::Runnable);
+  eng.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.name(), "p");
+  p.wake();  // waking a finished process is a harmless no-op
+}

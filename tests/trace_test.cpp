@@ -1,0 +1,131 @@
+// Tests for the execution tracer: span/instant recording, Chrome JSON
+// export, and end-to-end instrumentation of compute, tasks and messages.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hw/node.hpp"
+#include "mpi_rig.hpp"
+#include "ompss/runtime.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace dh = deep::hw;
+namespace dm = deep::mpi;
+namespace dos = deep::ompss;
+namespace ds = deep::sim;
+using deep::testing::MpiRig;
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  ds::Tracer tracer;
+  tracer.span("trackA", "work", ds::TimePoint{1000}, ds::TimePoint{5000});
+  tracer.instant("trackB", "event", ds::TimePoint{2000});
+  EXPECT_EQ(tracer.num_events(), 2u);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("trackA"), std::string::npos);
+  EXPECT_NE(json.find("trackB"), std::string::npos);
+}
+
+TEST(Tracer, RejectsNegativeSpan) {
+  ds::Tracer tracer;
+  EXPECT_THROW(tracer.span("t", "bad", ds::TimePoint{100}, ds::TimePoint{50}),
+               deep::util::UsageError);
+}
+
+TEST(Tracer, EscapesJsonSpecials) {
+  ds::Tracer tracer;
+  tracer.instant("t", "quote\"back\\slash\nnewline", ds::TimePoint{0});
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+}
+
+TEST(Tracer, TimesInMicroseconds) {
+  ds::Tracer tracer;
+  // 3 us span starting at 1 us.
+  tracer.span("t", "s", ds::TimePoint{} + ds::microseconds(1),
+              ds::TimePoint{} + ds::microseconds(4));
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3"), std::string::npos);
+}
+
+TEST(Tracer, NodeComputeIsTraced) {
+  ds::Engine eng;
+  ds::Tracer tracer;
+  eng.set_tracer(&tracer);
+  dh::Node node(0, "cn0", dh::xeon_cluster_node());
+  eng.spawn("rank", [&](ds::Context& ctx) { node.compute(ctx, {1e9, 0, 0}, 4); });
+  eng.run();
+  EXPECT_EQ(tracer.num_events(), 1u);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("compute x4"), std::string::npos);
+  EXPECT_NE(json.find("cn0"), std::string::npos);
+}
+
+TEST(Tracer, OmpssTasksAppearOnWorkerTracks) {
+  ds::Engine eng;
+  ds::Tracer tracer;
+  eng.set_tracer(&tracer);
+  dh::Node node(0, "bn0", dh::knc_booster_node());
+  eng.spawn("master", [&](ds::Context& ctx) {
+    dos::Runtime rt(ctx, node, 2);
+    rt.submit("mytask", {}, {1e8, 0, 0}, [] {});
+    rt.taskwait();
+  });
+  eng.run();
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("mytask"), std::string::npos);
+  EXPECT_NE(json.find("bn0-worker"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"task\""), std::string::npos);
+}
+
+TEST(Tracer, MessagesTracedOnWire) {
+  MpiRig rig(2);
+  ds::Tracer tracer;
+  rig.engine().set_tracer(&tracer);
+  rig.run([](dm::Mpi& mpi) {
+    std::vector<std::byte> buf(256);
+    if (mpi.rank() == 0)
+      mpi.send_bytes(mpi.world(), 1, 0, buf);
+    else
+      mpi.recv_bytes(mpi.world(), 0, 0, buf);
+  });
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(json.find("ib wire"), std::string::npos);
+}
+
+TEST(Tracer, WritesFile) {
+  ds::Tracer tracer;
+  tracer.instant("t", "e", ds::TimePoint{});
+  const std::string path = "/tmp/deepsim_trace_test.json";
+  tracer.write_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, tracer.to_chrome_json());
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, BadPathThrows) {
+  ds::Tracer tracer;
+  EXPECT_THROW(tracer.write_chrome_json("/nonexistent-dir/x.json"),
+               deep::util::SimError);
+}
+
+TEST(Tracer, NoTracerNoOverheadPath) {
+  // Without a tracer attached nothing is recorded and nothing crashes.
+  ds::Engine eng;
+  dh::Node node(0, "cn0", dh::xeon_cluster_node());
+  eng.spawn("rank", [&](ds::Context& ctx) { node.compute(ctx, {1e6, 0, 0}, 1); });
+  EXPECT_NO_THROW(eng.run());
+  EXPECT_EQ(eng.tracer(), nullptr);
+}
