@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_application"
+  "../bench/bench_application.pdb"
+  "CMakeFiles/bench_application.dir/bench_application.cpp.o"
+  "CMakeFiles/bench_application.dir/bench_application.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cholesky"
+  "../bench/bench_cholesky.pdb"
+  "CMakeFiles/bench_cholesky.dir/bench_cholesky.cpp.o"
+  "CMakeFiles/bench_cholesky.dir/bench_cholesky.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_collectives"
+  "../bench/bench_collectives.pdb"
+  "CMakeFiles/bench_collectives.dir/bench_collectives.cpp.o"
+  "CMakeFiles/bench_collectives.dir/bench_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extoll_engines"
+  "../bench/bench_extoll_engines.pdb"
+  "CMakeFiles/bench_extoll_engines.dir/bench_extoll_engines.cpp.o"
+  "CMakeFiles/bench_extoll_engines.dir/bench_extoll_engines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extoll_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

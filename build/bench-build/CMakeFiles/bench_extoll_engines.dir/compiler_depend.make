@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_extoll_engines.
+# This may be replaced when dependencies are built.

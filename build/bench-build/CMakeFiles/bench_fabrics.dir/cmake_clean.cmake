@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fabrics"
+  "../bench/bench_fabrics.pdb"
+  "CMakeFiles/bench_fabrics.dir/bench_fabrics.cpp.o"
+  "CMakeFiles/bench_fabrics.dir/bench_fabrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

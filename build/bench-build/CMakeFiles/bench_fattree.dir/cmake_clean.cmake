@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fattree"
+  "../bench/bench_fattree.pdb"
+  "CMakeFiles/bench_fattree.dir/bench_fattree.cpp.o"
+  "CMakeFiles/bench_fattree.dir/bench_fattree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offload_model"
+  "../bench/bench_offload_model.pdb"
+  "CMakeFiles/bench_offload_model.dir/bench_offload_model.cpp.o"
+  "CMakeFiles/bench_offload_model.dir/bench_offload_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scalability"
+  "../bench/bench_scalability.pdb"
+  "CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o"
+  "CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spawn_rm"
+  "../bench/bench_spawn_rm.pdb"
+  "CMakeFiles/bench_spawn_rm.dir/bench_spawn_rm.cpp.o"
+  "CMakeFiles/bench_spawn_rm.dir/bench_spawn_rm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spawn_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

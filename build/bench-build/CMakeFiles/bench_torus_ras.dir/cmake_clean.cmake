@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_torus_ras"
+  "../bench/bench_torus_ras.pdb"
+  "CMakeFiles/bench_torus_ras.dir/bench_torus_ras.cpp.o"
+  "CMakeFiles/bench_torus_ras.dir/bench_torus_ras.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_torus_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_offload.dir/cholesky_offload.cpp.o"
+  "CMakeFiles/cholesky_offload.dir/cholesky_offload.cpp.o.d"
+  "cholesky_offload"
+  "cholesky_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_mpi_ompss.dir/hybrid_mpi_ompss.cpp.o"
+  "CMakeFiles/hybrid_mpi_ompss.dir/hybrid_mpi_ompss.cpp.o.d"
+  "hybrid_mpi_ompss"
+  "hybrid_mpi_ompss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_mpi_ompss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_offload.dir/nbody_offload.cpp.o"
+  "CMakeFiles/nbody_offload.dir/nbody_offload.cpp.o.d"
+  "nbody_offload"
+  "nbody_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

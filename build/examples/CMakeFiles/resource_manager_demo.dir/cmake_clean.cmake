@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_manager_demo.dir/resource_manager_demo.cpp.o"
+  "CMakeFiles/resource_manager_demo.dir/resource_manager_demo.cpp.o.d"
+  "resource_manager_demo"
+  "resource_manager_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_manager_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

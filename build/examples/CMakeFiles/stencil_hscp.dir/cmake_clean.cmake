@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_hscp.dir/stencil_hscp.cpp.o"
+  "CMakeFiles/stencil_hscp.dir/stencil_hscp.cpp.o.d"
+  "stencil_hscp"
+  "stencil_hscp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_hscp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

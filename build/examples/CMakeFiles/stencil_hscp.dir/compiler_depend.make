@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stencil_hscp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_viewer_demo.dir/trace_viewer_demo.cpp.o"
+  "CMakeFiles/trace_viewer_demo.dir/trace_viewer_demo.cpp.o.d"
+  "trace_viewer_demo"
+  "trace_viewer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_viewer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

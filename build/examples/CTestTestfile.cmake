@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cholesky_offload "/root/repo/build/examples/cholesky_offload" "6" "24")
+set_tests_properties(example_cholesky_offload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil_hscp "/root/repo/build/examples/stencil_hscp" "8" "3")
+set_tests_properties(example_stencil_hscp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_resource_manager_demo "/root/repo/build/examples/resource_manager_demo")
+set_tests_properties(example_resource_manager_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hybrid_mpi_ompss "/root/repo/build/examples/hybrid_mpi_ompss" "4" "6" "16")
+set_tests_properties(example_hybrid_mpi_ompss PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nbody_offload "/root/repo/build/examples/nbody_offload" "8" "64" "4")
+set_tests_properties(example_nbody_offload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_viewer_demo "/root/repo/build/examples/trace_viewer_demo" "trace_smoke.json")
+set_tests_properties(example_trace_viewer_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cholesky.cpp" "src/apps/CMakeFiles/deep_apps.dir/cholesky.cpp.o" "gcc" "src/apps/CMakeFiles/deep_apps.dir/cholesky.cpp.o.d"
+  "/root/repo/src/apps/nbody.cpp" "src/apps/CMakeFiles/deep_apps.dir/nbody.cpp.o" "gcc" "src/apps/CMakeFiles/deep_apps.dir/nbody.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/apps/CMakeFiles/deep_apps.dir/spmv.cpp.o" "gcc" "src/apps/CMakeFiles/deep_apps.dir/spmv.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/deep_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/deep_apps.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ompss/CMakeFiles/deep_ompss.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/deep_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/deep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deep_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbp/CMakeFiles/deep_cbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/deep_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/deep_apps.dir/nbody.cpp.o"
+  "CMakeFiles/deep_apps.dir/nbody.cpp.o.d"
+  "CMakeFiles/deep_apps.dir/spmv.cpp.o"
+  "CMakeFiles/deep_apps.dir/spmv.cpp.o.d"
+  "CMakeFiles/deep_apps.dir/stencil.cpp.o"
+  "CMakeFiles/deep_apps.dir/stencil.cpp.o.d"
+  "libdeep_apps.a"
+  "libdeep_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_cbp.dir/gateway.cpp.o"
+  "CMakeFiles/deep_cbp.dir/gateway.cpp.o.d"
+  "libdeep_cbp.a"
+  "libdeep_cbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_cbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeep_cbp.a"
+)

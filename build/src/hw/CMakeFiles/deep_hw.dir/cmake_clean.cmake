@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_hw.dir/presets.cpp.o"
+  "CMakeFiles/deep_hw.dir/presets.cpp.o.d"
+  "libdeep_hw.a"
+  "libdeep_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_mpi.dir/endpoint.cpp.o"
+  "CMakeFiles/deep_mpi.dir/endpoint.cpp.o.d"
+  "CMakeFiles/deep_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/deep_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/deep_mpi.dir/system.cpp.o"
+  "CMakeFiles/deep_mpi.dir/system.cpp.o.d"
+  "libdeep_mpi.a"
+  "libdeep_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

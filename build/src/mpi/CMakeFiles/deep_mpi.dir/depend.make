@@ -1,0 +1,2 @@
+# Empty dependencies file for deep_mpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_net.dir/fattree.cpp.o"
+  "CMakeFiles/deep_net.dir/fattree.cpp.o.d"
+  "CMakeFiles/deep_net.dir/torus.cpp.o"
+  "CMakeFiles/deep_net.dir/torus.cpp.o.d"
+  "libdeep_net.a"
+  "libdeep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

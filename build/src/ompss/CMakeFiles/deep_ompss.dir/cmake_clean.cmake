@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_ompss.dir/offload.cpp.o"
+  "CMakeFiles/deep_ompss.dir/offload.cpp.o.d"
+  "CMakeFiles/deep_ompss.dir/runtime.cpp.o"
+  "CMakeFiles/deep_ompss.dir/runtime.cpp.o.d"
+  "libdeep_ompss.a"
+  "libdeep_ompss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_ompss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

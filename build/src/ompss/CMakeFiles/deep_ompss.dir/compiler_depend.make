@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deep_ompss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_sim.dir/engine.cpp.o"
+  "CMakeFiles/deep_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/deep_sim.dir/trace.cpp.o"
+  "CMakeFiles/deep_sim.dir/trace.cpp.o.d"
+  "libdeep_sim.a"
+  "libdeep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

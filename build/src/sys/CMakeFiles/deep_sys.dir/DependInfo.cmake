@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/accelerated.cpp" "src/sys/CMakeFiles/deep_sys.dir/accelerated.cpp.o" "gcc" "src/sys/CMakeFiles/deep_sys.dir/accelerated.cpp.o.d"
+  "/root/repo/src/sys/report.cpp" "src/sys/CMakeFiles/deep_sys.dir/report.cpp.o" "gcc" "src/sys/CMakeFiles/deep_sys.dir/report.cpp.o.d"
+  "/root/repo/src/sys/resource_manager.cpp" "src/sys/CMakeFiles/deep_sys.dir/resource_manager.cpp.o" "gcc" "src/sys/CMakeFiles/deep_sys.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/sys/system.cpp" "src/sys/CMakeFiles/deep_sys.dir/system.cpp.o" "gcc" "src/sys/CMakeFiles/deep_sys.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ompss/CMakeFiles/deep_ompss.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/deep_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbp/CMakeFiles/deep_cbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/deep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_sys.dir/accelerated.cpp.o"
+  "CMakeFiles/deep_sys.dir/accelerated.cpp.o.d"
+  "CMakeFiles/deep_sys.dir/report.cpp.o"
+  "CMakeFiles/deep_sys.dir/report.cpp.o.d"
+  "CMakeFiles/deep_sys.dir/resource_manager.cpp.o"
+  "CMakeFiles/deep_sys.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/deep_sys.dir/system.cpp.o"
+  "CMakeFiles/deep_sys.dir/system.cpp.o.d"
+  "libdeep_sys.a"
+  "libdeep_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

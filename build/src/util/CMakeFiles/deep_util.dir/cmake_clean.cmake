@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_util.dir/csv.cpp.o"
+  "CMakeFiles/deep_util.dir/csv.cpp.o.d"
+  "CMakeFiles/deep_util.dir/log.cpp.o"
+  "CMakeFiles/deep_util.dir/log.cpp.o.d"
+  "libdeep_util.a"
+  "libdeep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

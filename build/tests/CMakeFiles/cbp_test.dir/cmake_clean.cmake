@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_test.dir/cbp_test.cpp.o"
+  "CMakeFiles/cbp_test.dir/cbp_test.cpp.o.d"
+  "cbp_test"
+  "cbp_test.pdb"
+  "cbp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collalgo_test.dir/collalgo_test.cpp.o"
+  "CMakeFiles/collalgo_test.dir/collalgo_test.cpp.o.d"
+  "collalgo_test"
+  "collalgo_test.pdb"
+  "collalgo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collalgo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_internals_test.dir/mpi_internals_test.cpp.o"
+  "CMakeFiles/mpi_internals_test.dir/mpi_internals_test.cpp.o.d"
+  "mpi_internals_test"
+  "mpi_internals_test.pdb"
+  "mpi_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test.dir/mpi_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/mpi_test.cpp.o.d"
+  "mpi_test"
+  "mpi_test.pdb"
+  "mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

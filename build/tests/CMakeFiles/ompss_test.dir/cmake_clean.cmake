@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_test.dir/ompss_test.cpp.o"
+  "CMakeFiles/ompss_test.dir/ompss_test.cpp.o.d"
+  "ompss_test"
+  "ompss_test.pdb"
+  "ompss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sys_test.cpp" "tests/CMakeFiles/sys_test.dir/sys_test.cpp.o" "gcc" "tests/CMakeFiles/sys_test.dir/sys_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/deep_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/deep_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompss/CMakeFiles/deep_ompss.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/deep_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbp/CMakeFiles/deep_cbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/deep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_test.dir/sys_test.cpp.o"
+  "CMakeFiles/sys_test.dir/sys_test.cpp.o.d"
+  "sys_test"
+  "sys_test.pdb"
+  "sys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

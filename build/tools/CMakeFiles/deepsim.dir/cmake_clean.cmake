@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepsim.dir/deepsim_cli.cpp.o"
+  "CMakeFiles/deepsim.dir/deepsim_cli.cpp.o.d"
+  "deepsim"
+  "deepsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stencil "/root/repo/build/tools/deepsim" "--workload" "stencil" "--procs" "4")
+set_tests_properties(cli_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cholesky "/root/repo/build/tools/deepsim" "--workload" "cholesky" "--procs" "2")
+set_tests_properties(cli_cholesky PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_nbody "/root/repo/build/tools/deepsim" "--workload" "nbody" "--procs" "8" "--report")
+set_tests_properties(cli_nbody PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spmv "/root/repo/build/tools/deepsim" "--workload" "spmv" "--procs" "4")
+set_tests_properties(cli_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_static_partitions "/root/repo/build/tools/deepsim" "--workload" "stencil" "--static-partitions" "--cluster" "2" "--procs" "4")
+set_tests_properties(cli_static_partitions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
