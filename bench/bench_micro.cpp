@@ -66,6 +66,28 @@ void BM_MailboxPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxPingPong)->Arg(500);
 
+void BM_ProcessSpawnStress(benchmark::State& state) {
+  // Scale guardrail: >= 10k concurrent processes per engine.  Impossible
+  // under the old thread-per-process model (OS thread limits, ~6.5 us per
+  // switch); with pooled fiber stacks it is routine.
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ds::Engine eng;
+    int done = 0;
+    for (int i = 0; i < procs; ++i) {
+      eng.spawn("p", [&done, i](ds::Context& ctx) {
+        ctx.delay(ds::nanoseconds(i % 13));
+        ctx.delay(ds::nanoseconds((i * 7) % 11));
+        ++done;
+      });
+    }
+    eng.run();
+    if (done != procs) state.SkipWithError("processes lost");
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_ProcessSpawnStress)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 void BM_MpiEagerPingPong(benchmark::State& state) {
   const int iters = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs the simulator micro-benchmarks (engine hot paths: event dispatch,
+# fiber context switches, mailbox traffic, 10k-process spawn stress) and
+# records results/BENCH_micro.json so successive PRs have a perf trajectory
+# to compare against.
+#
+# The JSON layout is:
+#   {
+#     "baseline_thread_condvar": { ...google-benchmark json... },  # frozen
+#     "current":                 { ...google-benchmark json... }   # updated
+#   }
+# "baseline_thread_condvar" is the pre-fiber (thread-per-process) snapshot
+# and is preserved across runs; "current" is replaced each time.
+#
+# Usage: scripts/run_bench_micro.sh [output.json]
+#   BUILD_DIR=...    build tree to use            (default: <repo>/build)
+#   BENCH_FILTER=... benchmark regex              (default: engine benches)
+#   BENCH_REPS=N     google-benchmark repetitions (default: 1)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/results/BENCH_micro.json}"
+FILTER="${BENCH_FILTER:-BM_EventDispatch|BM_ProcessContextSwitch|BM_MailboxPingPong|BM_ProcessSpawnStress}"
+
+if [ ! -x "$BUILD/bench/bench_micro" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j --target bench_micro
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$TMP" --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TMP" "$OUT" <<'EOF'
+import json, sys
+
+current_path, out_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+
+merged = {}
+try:
+    with open(out_path) as f:
+        merged = json.load(f)
+    if "benchmarks" in merged:  # legacy raw layout: demote to baseline
+        merged = {"baseline_thread_condvar": merged}
+except (OSError, ValueError):
+    pass
+
+merged["current"] = current
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+EOF
+else
+  # No python3: fall back to the raw google-benchmark document.
+  cp "$TMP" "$OUT"
+fi
+
+echo "wrote $OUT"

@@ -1,68 +1,49 @@
 #include "sim/engine.hpp"
 
-#include <condition_variable>
-#include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "util/log.hpp"
 
 namespace deep::sim {
 
 // ---------------------------------------------------------------------------
-// Process hand-shake
+// Process fiber scheduling
 // ---------------------------------------------------------------------------
-
-struct Process::Handshake {
-  std::mutex m;
-  std::condition_variable cv;
-  enum class Turn { Engine, Process } turn = Turn::Engine;
-  bool thread_started = false;
-  bool thread_done = false;
-  std::thread thread;
-};
 
 Process::Process(Engine& engine, std::uint64_t id, std::string name,
                  std::function<void(Context&)> body)
-    : engine_(engine),
-      id_(id),
-      name_(std::move(name)),
-      body_(std::move(body)),
-      hs_(std::make_unique<Handshake>()) {}
+    : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {}
 
-Process::~Process() {
-  if (hs_ && hs_->thread.joinable()) hs_->thread.join();
+Process::~Process() = default;
+
+void Process::start_fiber() {
+  fiber_.create(engine_.stack_pool_.acquire(), &Process::fiber_entry, this);
 }
 
-void Process::start_thread() {
-  hs_->thread = std::thread([this] {
-    {
-      // Wait for the engine to give us the first slice.
-      std::unique_lock lk(hs_->m);
-      hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Process; });
-    }
-    Context ctx(engine_, *this);
-    try {
-      if (!kill_requested_) body_(ctx);
-    } catch (const ProcessKilled&) {
-      // Graceful teardown requested by the engine.
-    } catch (...) {
-      error_ = std::current_exception();
-    }
-    finish_from_thread();
-  });
-  hs_->thread_started = true;
+void Process::fiber_entry(void* arg) {
+  auto* self = static_cast<Process*>(arg);
+  Context ctx(self->engine_, *self);
+  try {
+    if (!self->kill_requested_) self->body_(ctx);
+  } catch (const ProcessKilled&) {
+    // Graceful teardown requested by the engine.
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->state_ = State::Finished;
+  self->body_ = nullptr;  // release captured resources eagerly
+  Fiber::switch_to(self->fiber_, self->engine_.sched_fiber_,
+                   /*terminating=*/true);
+  // A terminated fiber is never resumed.
+  std::abort();
 }
 
 void Process::run_slice() {
   DEEP_ASSERT(state_ == State::Runnable, "run_slice: process not runnable");
   resume_scheduled_ = false;
-  {
-    std::unique_lock lk(hs_->m);
-    hs_->turn = Handshake::Turn::Process;
-    hs_->cv.notify_all();
-    hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Engine; });
-  }
+  Fiber::switch_to(engine_.sched_fiber_, fiber_);
+  if (state_ == State::Finished && fiber_.created())
+    engine_.stack_pool_.release(fiber_.take_stack());
   if (error_) {
     auto err = error_;
     error_ = nullptr;
@@ -71,29 +52,14 @@ void Process::run_slice() {
 }
 
 void Process::yield_to_engine() {
-  std::unique_lock lk(hs_->m);
-  hs_->turn = Handshake::Turn::Engine;
-  hs_->cv.notify_all();
-  hs_->cv.wait(lk, [this] { return hs_->turn == Handshake::Turn::Process; });
+  Fiber::switch_to(fiber_, engine_.sched_fiber_);
   if (kill_requested_) throw ProcessKilled{};
-}
-
-void Process::finish_from_thread() noexcept {
-  std::unique_lock lk(hs_->m);
-  state_ = State::Finished;
-  hs_->thread_done = true;
-  hs_->turn = Handshake::Turn::Engine;
-  hs_->cv.notify_all();
 }
 
 void Process::wake() {
   if (state_ == State::Finished) return;
-  if (state_ == State::Waiting) {
-    wake_pending_ = true;
-    engine_.schedule_resume(*this);
-  } else {
-    wake_pending_ = true;
-  }
+  wake_pending_ = true;
+  if (state_ == State::Waiting) engine_.schedule_resume(*this);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,11 +70,7 @@ void Context::delay(Duration d) {
   DEEP_EXPECT(d.ps >= 0, "Context::delay: negative duration");
   Process& p = *process_;
   p.state_ = Process::State::Sleeping;
-  engine_->schedule_in(d, [&p] {
-    // A sleep expiry resumes unconditionally (it is not a wake()).
-    p.state_ = Process::State::Runnable;
-    p.run_slice();
-  });
+  engine_->schedule_process(engine_->now_ + d, EventKind::SleepExpiry, p);
   p.yield_to_engine();
   p.state_ = Process::State::Runnable;
 }
@@ -133,13 +95,23 @@ bool Context::killed() const { return process_->kill_requested_; }
 
 Engine::~Engine() { kill_all_unfinished(); }
 
-void Engine::schedule_at(TimePoint t, std::function<void()> fn) {
+void Engine::schedule_at(TimePoint t, EventFn fn) {
   DEEP_EXPECT(t >= now_, "Engine::schedule_at: time in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push(t, next_seq_++, EventKind::Callback, nullptr, std::move(fn));
 }
 
-void Engine::schedule_in(Duration d, std::function<void()> fn) {
+void Engine::schedule_in(Duration d, EventFn fn) {
   schedule_at(now_ + d, std::move(fn));
+}
+
+void Engine::schedule_process(TimePoint t, EventKind kind, Process& p) {
+  queue_.push(t, next_seq_++, kind, &p, EventFn{});
+}
+
+void Engine::set_fiber_stack_size(std::size_t bytes) {
+  DEEP_EXPECT(processes_.empty(),
+              "Engine::set_fiber_stack_size: must be called before spawn");
+  stack_pool_.set_stack_size(bytes);
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
@@ -147,52 +119,83 @@ Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
       new Process(*this, next_proc_id_++, std::move(name), std::move(body)));
   Process& p = *proc;
   processes_.push_back(std::move(proc));
-  p.start_thread();
+  p.start_fiber();
   p.state_ = Process::State::Runnable;
   p.resume_scheduled_ = true;
-  schedule_at(now_, [&p] { p.run_slice(); });
+  schedule_process(now_, EventKind::StartSlice, p);
   return p;
 }
 
 void Engine::schedule_resume(Process& p) {
   if (p.resume_scheduled_) return;
   p.resume_scheduled_ = true;
-  schedule_at(now_, [&p] {
-    if (p.state_ == Process::State::Waiting) {
-      p.state_ = Process::State::Runnable;
-      p.run_slice();
-    } else {
-      // The process got resumed by other means (e.g. sleep expiry) before
-      // this event fired; the latched wake_pending_ covers it.
-      p.resume_scheduled_ = false;
-    }
-  });
+  schedule_process(now_, EventKind::Resume, p);
 }
 
 void Engine::dispatch_one() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  EventQueue::Dispatched ev = queue_.pop();
   now_ = ev.t;
   ++events_executed_;
-  ev.fn();
+  switch (ev.kind) {
+    case EventKind::Callback:
+      ev.fn();
+      break;
+    case EventKind::StartSlice:
+      if (!ev.proc->finished()) ev.proc->run_slice();
+      break;
+    case EventKind::Resume:
+      if (ev.proc->state_ == Process::State::Waiting) {
+        ev.proc->state_ = Process::State::Runnable;
+        ev.proc->run_slice();
+      } else {
+        // The process got resumed through another path before this event
+        // fired; the latched wake_pending_ covers the notification.
+        ev.proc->resume_scheduled_ = false;
+      }
+      break;
+    case EventKind::SleepExpiry:
+      // Stale if the process was killed (or otherwise left Sleeping) first.
+      if (ev.proc->state_ == Process::State::Sleeping) {
+        ev.proc->state_ = Process::State::Runnable;
+        ev.proc->run_slice();
+      }
+      break;
+  }
 }
+
+namespace {
+/// Clears Engine::running_ even when a process body throws out of run().
+struct RunningGuard {
+  bool& flag;
+  explicit RunningGuard(bool& f) : flag(f) { flag = true; }
+  ~RunningGuard() { flag = false; }
+};
+}  // namespace
 
 void Engine::run() {
   DEEP_EXPECT(!running_, "Engine::run: already running");
-  running_ = true;
-  while (!queue_.empty()) dispatch_one();
-  running_ = false;
+  {
+    RunningGuard guard(running_);
+    while (!queue_.empty()) dispatch_one();
+  }
   check_deadlock_or_finish();
   kill_all_unfinished();
 }
 
 bool Engine::run_until(TimePoint t) {
   DEEP_EXPECT(!running_, "Engine::run_until: already running");
-  running_ = true;
-  while (!queue_.empty() && queue_.top().t <= t) dispatch_one();
-  running_ = false;
+  {
+    RunningGuard guard(running_);
+    while (!queue_.empty() && queue_.next_time() <= t) dispatch_one();
+  }
   if (now_ < t) now_ = t;
-  return !queue_.empty();
+  if (queue_.empty()) {
+    // Same stuck-process reporting as run(); daemons stay alive because the
+    // caller may schedule more events and continue.
+    check_deadlock_or_finish();
+    return false;
+  }
+  return true;
 }
 
 void Engine::check_deadlock_or_finish() {
@@ -213,9 +216,9 @@ void Engine::check_deadlock_or_finish() {
 
 void Engine::kill_all_unfinished() {
   for (const auto& p : processes_) {
-    if (p->finished() || !p->hs_->thread_started) continue;
+    if (p->finished() || !p->fiber_.created()) continue;
     p->kill_requested_ = true;
-    // Hand the thread one final slice so yield_to_engine() throws
+    // Hand the fiber one final slice so yield_to_engine() throws
     // ProcessKilled and the stack unwinds.
     p->state_ = Process::State::Runnable;
     p->run_slice();

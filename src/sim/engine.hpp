@@ -3,11 +3,29 @@
 //
 // Model
 // -----
-// The engine owns a priority queue of (time, sequence, callback) events and a
-// set of Processes.  Each Process runs user code on its own OS thread, but a
-// strict hand-shake guarantees that at any instant exactly ONE thread — the
-// engine or a single process — is executing.  Together with the sequence-
-// number tie-break this makes every simulation fully deterministic.
+// The engine owns a pooled event queue of (time, sequence, payload) events
+// and a set of Processes.  Each Process runs user code on its own *fiber* —
+// a stackful userspace context (ucontext) owned by the engine — and the
+// scheduler switches into exactly one fiber at a time, so at any instant a
+// single logical thread of execution is running.  Together with the
+// sequence-number tie-break this makes every simulation fully deterministic.
+// A fiber switch is a register swap (~100 ns), not a kernel round-trip, so
+// simulations with tens of thousands of concurrent processes are practical;
+// there are no OS threads involved at all.
+//
+// Fiber stacks default to 256 KiB (pages committed lazily) and are recycled
+// through a free-list pool when processes finish; tune with
+// Engine::set_fiber_stack_size() *before* the first spawn if process bodies
+// need deeper stacks.
+//
+// The event queue is a 4-ary implicit heap of small (time, seq, slot)
+// entries over a free-list slot pool (sim/event.hpp).  Callbacks are stored
+// in a small-buffer-optimized EventFn (no heap allocation for captures up to
+// 48 bytes), and process bookkeeping events — spawn slices, wake resumes,
+// sleep expiries — carry just a tagged Process pointer.  Each such event is
+// validated against the process's current state when dispatched, so an event
+// that went stale (process killed, or already resumed through another path)
+// is dropped instead of misfiring.
 //
 // Blocking primitives available to process code (via Context):
 //   * delay(d)   — advance this process's local time by exactly d,
@@ -16,15 +34,22 @@
 //
 // wake() on a running/sleeping process is remembered (binary semaphore), so
 // the canonical wait loop `while (!pred()) ctx.suspend();` never loses a
-// notification.
+// notification.  A wake delivered during delay() never shortens the sleep:
+// it is latched and consumed by the next suspend().
+//
+// Teardown: the engine unwinds unfinished processes by throwing
+// ProcessKilled through their fiber (run() does this for daemons once the
+// queue drains; the destructor for everything else), so stack objects in
+// process bodies are destroyed deterministically.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/event.hpp"
+#include "sim/fiber.hpp"
 #include "sim/time.hpp"
 #include "util/error.hpp"
 
@@ -104,12 +129,14 @@ class Process {
   Process(Engine& engine, std::uint64_t id, std::string name,
           std::function<void(Context&)> body);
 
-  void start_thread();
-  // Hand-shake: engine -> process.
+  void start_fiber();
+  // Scheduler -> process fiber switch; returns when the process yields,
+  // finishes, or throws (the exception is re-thrown on the engine side).
   void run_slice();
-  // Hand-shake: process -> engine (called from the process thread).
+  // Process -> scheduler fiber switch (called from inside the fiber).
   void yield_to_engine();
-  void finish_from_thread() noexcept;
+  // Fiber entry point: runs the body, records the outcome, never returns.
+  static void fiber_entry(void* self);
 
   Engine& engine_;
   std::uint64_t id_;
@@ -122,14 +149,12 @@ class Process {
   bool kill_requested_ = false;
   bool daemon_ = false;
 
-  // Hand-shake machinery; `turn_` says whose move it is.
-  struct Handshake;
-  std::unique_ptr<Handshake> hs_;
+  Fiber fiber_;
   std::exception_ptr error_;
 };
 
 /// The discrete-event engine.  Not thread-safe by design: all interaction
-/// happens from the engine thread or from the single running process.
+/// happens from the engine or from the single running process fiber.
 class Engine {
  public:
   Engine() = default;
@@ -139,10 +164,11 @@ class Engine {
 
   TimePoint now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `t` (>= now).
-  void schedule_at(TimePoint t, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute time `t` (>= now).  Any nullary
+  /// callable works; captures up to 48 bytes are stored without allocating.
+  void schedule_at(TimePoint t, EventFn fn);
   /// Schedules `fn` to run `d` from now.
-  void schedule_in(Duration d, std::function<void()> fn);
+  void schedule_in(Duration d, EventFn fn);
 
   /// Creates a process; its body starts executing at the current time (or at
   /// simulation start).  The returned reference stays valid for the lifetime
@@ -155,11 +181,18 @@ class Engine {
   void run();
 
   /// Runs until `t` (events at exactly `t` included); returns true if events
-  /// remain afterwards.
+  /// remain afterwards.  If the queue drains before `t`, performs the same
+  /// deadlock detection as run() (throws SimError when non-daemon processes
+  /// are stuck) but leaves daemons alive so the caller can keep scheduling.
   bool run_until(TimePoint t);
 
   std::size_t num_processes() const { return processes_.size(); }
   std::size_t events_executed() const { return events_executed_; }
+
+  /// Sets the stack size for process fibers (rounded up to a page).  Must be
+  /// called before the first spawn().  Default: 256 KiB, committed lazily.
+  void set_fiber_stack_size(std::size_t bytes);
+  std::size_t fiber_stack_size() const { return stack_pool_.stack_size(); }
 
   /// Attaches (or detaches, with nullptr) an execution tracer.  The engine
   /// does not own it; instrumented layers record spans when one is present.
@@ -170,22 +203,17 @@ class Engine {
   friend class Process;
   friend class Context;
 
-  struct Event {
-    TimePoint t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
-  };
-
   void dispatch_one();
   void schedule_resume(Process& p);
+  void schedule_process(TimePoint t, EventKind kind, Process& p);
   void check_deadlock_or_finish();
   void kill_all_unfinished();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Declared before processes_ so it is destroyed after them: finishing
+  // fibers hand their stacks back to the pool during engine teardown.
+  FiberStackPool stack_pool_;
+  Fiber sched_fiber_;
+  EventQueue queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;

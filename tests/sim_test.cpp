@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 #include "util/error.hpp"
 
 namespace ds = deep::sim;
@@ -415,6 +418,241 @@ TEST(Engine, EventsExecutedCounts) {
   for (int i = 0; i < 7; ++i) eng.schedule_in(ds::nanoseconds(i), [] {});
   eng.run();
   EXPECT_EQ(eng.events_executed(), 7u);
+}
+
+// --- Fiber-scheduler regressions: run_until deadlock parity -----------------
+
+TEST(Engine, RunUntilDetectsDeadlock) {
+  // run_until must report stuck processes exactly like run() once the event
+  // queue drains (it used to return silently, hiding the deadlock).
+  ds::Engine eng;
+  eng.spawn("stuck", [](ds::Context& ctx) { ctx.suspend(); });
+  eng.schedule_in(ds::nanoseconds(10), [] {});
+  EXPECT_THROW(eng.run_until(ds::TimePoint{} + ds::microseconds(1)),
+               deep::util::SimError);
+}
+
+TEST(Engine, RunUntilNoDeadlockWhileEventsRemain) {
+  // A waiting process is not stuck while events remain beyond the horizon.
+  ds::Engine eng;
+  auto& p = eng.spawn("waiter", [](ds::Context& ctx) { ctx.suspend(); });
+  eng.schedule_in(ds::microseconds(10), [&] { p.wake(); });
+  EXPECT_TRUE(eng.run_until(ds::TimePoint{} + ds::microseconds(1)));
+  EXPECT_NO_THROW(eng.run());
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Engine, RunUntilLeavesDaemonsAlive) {
+  // Unlike run(), a drained run_until keeps daemons runnable so the caller
+  // can schedule more work and continue the simulation.
+  ds::Engine eng;
+  int served = 0;
+  auto& d = eng.spawn("daemon", [&](ds::Context& ctx) {
+    for (;;) {
+      ctx.suspend();
+      ++served;
+    }
+  });
+  d.set_daemon(true);
+  eng.schedule_in(ds::nanoseconds(5), [&] { d.wake(); });
+  EXPECT_FALSE(eng.run_until(ds::TimePoint{} + ds::microseconds(1)));
+  EXPECT_EQ(served, 1);
+  EXPECT_FALSE(d.finished());
+  eng.schedule_in(ds::nanoseconds(5), [&] { d.wake(); });
+  EXPECT_FALSE(eng.run_until(ds::TimePoint{} + ds::microseconds(2)));
+  EXPECT_EQ(served, 2);
+}
+
+// --- Wake-during-sleep collapse semantics -----------------------------------
+
+TEST(Process, WakeDuringSleepLatchesWithoutStaleResume) {
+  // A wake() delivered while Sleeping is latched: it never shortens the
+  // sleep, it satisfies exactly one subsequent suspend(), and it must not
+  // leave a stale resume event that would let a later suspend() fall
+  // through early.
+  ds::Engine eng;
+  ds::TimePoint after_sleep{}, after_first_suspend{}, after_second_suspend{};
+  auto& p = eng.spawn("s", [&](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(100));
+    after_sleep = ctx.now();
+    ctx.suspend();  // consumes the wake latched at t=50
+    after_first_suspend = ctx.now();
+    ctx.suspend();  // must block until the explicit wake at t=200
+    after_second_suspend = ctx.now();
+  });
+  eng.schedule_in(ds::nanoseconds(50), [&] { p.wake(); });
+  eng.schedule_in(ds::nanoseconds(200), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(after_sleep.ps, ds::nanoseconds(100).ps);
+  EXPECT_EQ(after_first_suspend.ps, ds::nanoseconds(100).ps);
+  EXPECT_EQ(after_second_suspend.ps, ds::nanoseconds(200).ps);
+}
+
+TEST(Process, MultipleWakesDuringSleepCollapseToOne) {
+  ds::Engine eng;
+  ds::TimePoint second_suspend_at{};
+  auto& p = eng.spawn("s", [&](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(100));
+    ctx.suspend();  // all wakes delivered during the sleep collapse into one
+    ctx.suspend();  // so this must wait for the wake at t=300
+    second_suspend_at = ctx.now();
+  });
+  eng.schedule_in(ds::nanoseconds(20), [&] { p.wake(); });
+  eng.schedule_in(ds::nanoseconds(40), [&] { p.wake(); });
+  eng.schedule_in(ds::nanoseconds(60), [&] { p.wake(); });
+  eng.schedule_in(ds::nanoseconds(300), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(second_suspend_at.ps, ds::nanoseconds(300).ps);
+}
+
+// --- Teardown: kill mid-primitive unwinds the fiber stack -------------------
+
+namespace {
+struct Sentinel {
+  bool* flag;
+  ~Sentinel() { *flag = true; }
+};
+}  // namespace
+
+TEST(Engine, KillDuringSleepUnwindsStack) {
+  bool destroyed = false;
+  {
+    ds::Engine eng;
+    eng.spawn("sleeper", [&](ds::Context& ctx) {
+      Sentinel s{&destroyed};
+      ctx.delay(ds::milliseconds(10));
+    });
+    eng.run_until(ds::TimePoint{} + ds::microseconds(1));
+    EXPECT_FALSE(destroyed);  // still parked inside delay()
+  }  // engine destruction kills the sleeping process
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Engine, KillDuringSuspendUnwindsStack) {
+  bool destroyed = false;
+  {
+    ds::Engine eng;
+    auto& p = eng.spawn("waiter", [&](ds::Context& ctx) {
+      Sentinel s{&destroyed};
+      ctx.suspend();
+    });
+    p.set_daemon(true);  // waiting with an empty queue is legitimate for it
+    eng.run_until(ds::TimePoint{} + ds::microseconds(1));
+    EXPECT_FALSE(destroyed);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Engine, KillBeforeFirstSliceSkipsBody) {
+  // A process spawned but never dispatched must not run its body at all.
+  bool ran = false;
+  {
+    ds::Engine eng;
+    eng.spawn("never", [&](ds::Context&) { ran = true; });
+  }  // destroyed before any event dispatch
+  EXPECT_FALSE(ran);
+}
+
+// --- Exceptions out of fiber bodies -----------------------------------------
+
+TEST(Process, ExceptionAfterWakeResumePropagates) {
+  ds::Engine eng;
+  auto& p = eng.spawn("thrower", [](ds::Context& ctx) {
+    ctx.suspend();
+    throw std::runtime_error("woke up angry");
+  });
+  eng.schedule_in(ds::nanoseconds(10), [&] { p.wake(); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+// --- Scale: ten thousand concurrent fibers ----------------------------------
+
+TEST(Scale, TenThousandProcessesSpawnAndFinish) {
+  // Thread-per-process made this impossible (OS thread limits); with fibers
+  // 10k concurrent processes are routine.
+  ds::Engine eng;
+  constexpr int kProcs = 10'000;
+  int done = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    eng.spawn("p", [&, i](ds::Context& ctx) {
+      ctx.delay(ds::nanoseconds(i % 97));
+      ctx.delay(ds::nanoseconds((i * 31) % 89));
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, kProcs);
+  EXPECT_EQ(eng.num_processes(), static_cast<std::size_t>(kProcs));
+}
+
+// --- Determinism including trace output -------------------------------------
+
+TEST(Determinism, EventCountsAndTraceIdenticalAcrossRuns) {
+  auto run_once = [](std::size_t& events, std::string& trace_json) {
+    ds::Engine eng;
+    ds::Tracer tracer;
+    eng.set_tracer(&tracer);
+    ds::Mailbox<int> box;
+    eng.spawn("producer", [&](ds::Context& ctx) {
+      for (int i = 0; i < 30; ++i) {
+        const auto begin = ctx.now();
+        ctx.delay(ds::nanoseconds(3 * (i % 5) + 1));
+        box.push(i);
+        tracer.span("producer", "burst", begin, ctx.now());
+      }
+    });
+    eng.spawn("consumer", [&](ds::Context& ctx) {
+      for (int i = 0; i < 30; ++i) {
+        const int v = box.receive(ctx);
+        ctx.delay(ds::nanoseconds(v % 7));
+        tracer.instant("consumer", "got", ctx.now());
+      }
+    });
+    eng.run();
+    events = eng.events_executed();
+    trace_json = tracer.to_chrome_json();
+  };
+  std::size_t events_a = 0, events_b = 0;
+  std::string trace_a, trace_b;
+  run_once(events_a, trace_a);
+  run_once(events_b, trace_b);
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+// --- Event-path details: SBO callbacks and the stack-size knob --------------
+
+TEST(Engine, LargeCaptureCallbacksWork) {
+  // Captures beyond EventFn's 48-byte inline buffer take the heap fallback;
+  // both paths must execute and destroy correctly.
+  ds::Engine eng;
+  std::array<std::int64_t, 12> big{};
+  big.fill(7);
+  std::int64_t sum = 0;
+  eng.schedule_in(ds::nanoseconds(1), [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  std::vector<int> payload(1000, 1);
+  eng.schedule_in(ds::nanoseconds(2), [payload, &sum] {
+    sum += static_cast<std::int64_t>(payload.size());
+  });
+  eng.run();
+  EXPECT_EQ(sum, 12 * 7 + 1000);
+}
+
+TEST(Engine, FiberStackSizeKnob) {
+  ds::Engine eng;
+  eng.set_fiber_stack_size(64 * 1024);
+  EXPECT_EQ(eng.fiber_stack_size(), 64u * 1024u);
+  bool done = false;
+  eng.spawn("p", [&](ds::Context& ctx) {
+    ctx.delay(ds::nanoseconds(1));
+    done = true;
+  });
+  // The knob is spawn-time only: changing it with live processes is misuse.
+  EXPECT_THROW(eng.set_fiber_stack_size(128 * 1024), deep::util::UsageError);
+  eng.run();
+  EXPECT_TRUE(done);
 }
 
 TEST(Process, StateTransitionsVisible) {
