@@ -1,0 +1,23 @@
+#!/bin/sh
+# Runs the chaos suite (seeded fault-injection sweeps + crafted fault
+# scenarios) under AddressSanitizer.  The suite itself sweeps 32 seeds per
+# workload and replays each seed twice, asserting bit-identical event traces;
+# ASan additionally checks that the retry/loss paths never touch freed
+# frames or leak them.
+#
+# Usage: scripts/run_chaos.sh [build-dir]
+#   default build dir: build-asan (configured from the `asan` CMake preset)
+set -e
+BUILD=${1:-build-asan}
+[ $# -ge 1 ] && shift  # remaining args go straight to ctest
+
+if [ ! -d "$BUILD" ]; then
+  echo "== configuring $BUILD (asan preset) =="
+  cmake --preset asan
+fi
+echo "== building chaos_test in $BUILD =="
+cmake --build "$BUILD" --target chaos_test -j "$(nproc)"
+
+echo "== running chaos suite (label: chaos) =="
+ctest --test-dir "$BUILD" -L chaos --output-on-failure "$@"
+echo "chaos suite passed: 32-seed sweeps replayed bit-identically"

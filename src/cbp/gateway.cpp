@@ -1,5 +1,7 @@
 #include "cbp/gateway.hpp"
 
+#include <cmath>
+
 namespace deep::cbp {
 
 BridgedTransport::BridgedTransport(sim::Engine& engine,
@@ -14,6 +16,19 @@ BridgedTransport::BridgedTransport(sim::Engine& engine,
               "BridgedTransport: SMFU bandwidth must be positive");
   DEEP_EXPECT(params_.frame_header_bytes >= 0,
               "BridgedTransport: negative frame header");
+  DEEP_EXPECT(params_.retry_timeout.ps > 0,
+              "BridgedTransport: retry timeout must be positive");
+  DEEP_EXPECT(params_.backoff_factor >= 1.0,
+              "BridgedTransport: backoff factor must be >= 1");
+  DEEP_EXPECT(params_.max_retries >= 0,
+              "BridgedTransport: negative retry budget");
+  // Fabric drops (dead links, injected faults) re-enter through the retry
+  // path for CBP frames and surface as losses for everything else.
+  const auto handler = [this](net::Message&& msg) {
+    on_fabric_drop(std::move(msg));
+  };
+  cluster_->set_drop_handler(handler);
+  booster_->set_drop_handler(handler);
 }
 
 void BridgedTransport::register_cluster_node(hw::NodeId node) {
@@ -125,8 +140,125 @@ BridgedTransport::GatewayState& BridgedTransport::pick_gateway(
       }
       break;
     }
+    case GatewayPolicy::Pinned: {
+      // Same hash as ByPair but no probing: the pair sticks to its slot even
+      // when that gateway is down (it will time out and retry in place).
+      const auto h = static_cast<std::size_t>(src) * 1000003u +
+                     static_cast<std::size_t>(dst);
+      return gateways_[h % gateways_.size()];
+    }
   }
   throw util::SimError("unreachable");
+}
+
+BridgedTransport::GatewayState* BridgedTransport::find_gateway(
+    hw::NodeId node) {
+  for (auto& gw : gateways_)
+    if (gw.node == node) return &gw;
+  return nullptr;
+}
+
+BridgedTransport::GatewayState* BridgedTransport::pick_gateway_for_retry(
+    hw::NodeId src, hw::NodeId dst) {
+  if (gateways_.empty()) return nullptr;
+  const auto h = static_cast<std::size_t>(src) * 1000003u +
+                 static_cast<std::size_t>(dst);
+  switch (params_.policy) {
+    case GatewayPolicy::Pinned:
+      // No failover by design: keep hammering the pinned gateway.
+      return &gateways_[h % gateways_.size()];
+    case GatewayPolicy::ByPair: {
+      for (std::size_t i = 0; i < gateways_.size(); ++i) {
+        GatewayState& gw = gateways_[(h + i) % gateways_.size()];
+        if (gw.up) return &gw;
+      }
+      return nullptr;
+    }
+    case GatewayPolicy::RoundRobin: {
+      for (std::size_t i = 0; i < gateways_.size(); ++i) {
+        GatewayState& gw = gateways_[rr_next_];
+        rr_next_ = (rr_next_ + 1) % gateways_.size();
+        if (gw.up) return &gw;
+      }
+      return nullptr;
+    }
+  }
+  throw util::SimError("unreachable");
+}
+
+void BridgedTransport::on_fabric_drop(net::Message&& msg) {
+  if (msg.port == net::Port::Cbp) {
+    // A wrapped frame died between sender and gateway: the sender's timeout
+    // fires and the frame re-enters the retry path.
+    retry_frame(std::move(msg));
+  } else if (msg.port == net::Port::Mpi) {
+    // Same-side traffic or the post-gateway leg: no wrapped copy survives,
+    // so the loss is final and the MPI layer must be told.
+    report_loss(std::move(msg));
+  }
+  // Anything else (Raw probes etc.): counted by the fabric, nothing to do.
+}
+
+void BridgedTransport::retry_frame(net::Message&& wrapped) {
+  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  DEEP_EXPECT(frame != nullptr, "CBP: malformed frame in retry path");
+  if (frame->attempts >= params_.max_retries) {
+    ++frames_lost_;
+    report_loss(std::move(frame->inner));
+    return;
+  }
+  frame->attempts += 1;
+  // Exponential backoff: retry_timeout * factor^(attempts-1).  Duration has
+  // no floating-point scaling, so compute the picosecond count directly; the
+  // result is a pure function of the params, hence reproducible.
+  const double scale = std::pow(params_.backoff_factor, frame->attempts - 1);
+  const sim::Duration delay{static_cast<std::int64_t>(
+      static_cast<double>(params_.retry_timeout.ps) * scale)};
+  engine_->schedule_in(delay, [this, w = std::move(wrapped)]() mutable {
+    resend_frame(std::move(w));
+  });
+}
+
+void BridgedTransport::resend_frame(net::Message&& wrapped) {
+  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  DEEP_EXPECT(frame != nullptr, "CBP: malformed frame in retry path");
+  GatewayState* gw = pick_gateway_for_retry(wrapped.src, frame->inner.dst);
+  if (gw == nullptr) {
+    // No gateway can take the frame right now: burn one attempt and back off
+    // again.  The retry budget bounds this loop, so a permanently dead
+    // bridge ends in a reported loss, never a hang.
+    ++unrouted_retries_;
+    retry_frame(std::move(wrapped));
+    return;
+  }
+  gw->stats.retries += 1;
+  if (frame->last_gateway != hw::kInvalidNode &&
+      gw->node != frame->last_gateway) {
+    gw->stats.failovers += 1;
+  }
+  frame->last_gateway = gw->node;
+  wrapped.dst = gw->node;
+  const net::Service svc = frame->svc;
+  fabric_for_side(side_of(wrapped.src) != Side::Booster)
+      .send(std::move(wrapped), svc);
+}
+
+std::int64_t BridgedTransport::total_retries() const {
+  std::int64_t n = unrouted_retries_;
+  for (const auto& gw : gateways_) n += gw.stats.retries;
+  return n;
+}
+
+std::int64_t BridgedTransport::total_failovers() const {
+  std::int64_t n = 0;
+  for (const auto& gw : gateways_) n += gw.stats.failovers;
+  return n;
+}
+
+std::int64_t BridgedTransport::total_timeouts() const {
+  std::int64_t n = 0;
+  for (const auto& gw : gateways_) n += gw.stats.timeouts;
+  return n;
 }
 
 void BridgedTransport::send(net::Message msg, net::Service svc) {
@@ -149,17 +281,35 @@ void BridgedTransport::send(net::Message msg, net::Service svc) {
   }
 
   // Cross-fabric: wrap and route through a gateway on the source side.
-  GatewayState& gw = pick_gateway(msg.src, msg.dst);
+  DEEP_EXPECT(!gateways_.empty(),
+              "BridgedTransport: cross-fabric send with no gateways");
   net::Message wrapped;
   wrapped.src = msg.src;
-  wrapped.dst = gw.node;
   wrapped.port = net::Port::Cbp;
   wrapped.size_bytes = msg.size_bytes + params_.frame_header_bytes;
-  wrapped.header = CbpFrame{std::move(msg), svc};
+  if (num_gateways_up() == 0) {
+    // Every gateway is down right now: the frame cannot even start its
+    // crossing.  It enters the retry path and waits for a heal; the bounded
+    // budget turns a permanent outage into a reported loss, not a hang.
+    wrapped.header =
+        CbpFrame{std::move(msg), svc, /*attempts=*/0, hw::kInvalidNode};
+    retry_frame(std::move(wrapped));
+    return;
+  }
+  GatewayState& gw = pick_gateway(msg.src, msg.dst);
+  wrapped.dst = gw.node;
+  wrapped.header = CbpFrame{std::move(msg), svc, /*attempts=*/0, gw.node};
   fabric_for_side(src_side == Side::Cluster).send(std::move(wrapped), svc);
 }
 
 void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
+  if (!gw.up) {
+    // The frame reached a dead gateway: its SMFU no longer acks, the sender
+    // times out and the frame re-enters the retry path.
+    gw.stats.timeouts += 1;
+    retry_frame(std::move(wrapped));
+    return;
+  }
   auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
   DEEP_EXPECT(frame != nullptr, "CBP: malformed frame at gateway");
   net::Message inner = std::move(frame->inner);

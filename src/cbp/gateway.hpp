@@ -23,9 +23,13 @@ namespace deep::cbp {
 
 /// How a sender picks the gateway for a cross-fabric message.
 enum class GatewayPolicy {
-  ByPair,      // static: hash of (src,dst) — preserves per-pair ordering
+  ByPair,      // static: hash of (src,dst) — preserves per-pair ordering,
+               // fails over to the next healthy gateway
   RoundRobin,  // spreads load; per-pair ordering NOT guaranteed by the wire
                // (the MPI endpoint reorders via sequence numbers)
+  Pinned,      // static hash of (src,dst) with NO failover: a pair keeps
+               // retrying its pinned gateway even while it is down (models
+               // firmware routing tables that cannot be rewritten at runtime)
 };
 
 struct BridgeParams {
@@ -33,12 +37,23 @@ struct BridgeParams {
   double smfu_bandwidth_bytes_per_sec = 4.5e9;        // bridging throughput
   std::int64_t frame_header_bytes = 32;
   GatewayPolicy policy = GatewayPolicy::ByPair;
+
+  // Fault handling: a frame that dies on the wire or hits a dead gateway is
+  // retried after retry_timeout (the sender-side timeout), doubling per
+  // attempt (backoff_factor), at most max_retries times; then the wrapped
+  // message is reported lost to the MPI layer.
+  sim::Duration retry_timeout = sim::from_micros(20);
+  double backoff_factor = 2.0;
+  int max_retries = 4;
 };
 
 /// Per-gateway forwarding statistics.
 struct GatewayStats {
   std::int64_t forwarded_messages = 0;
   std::int64_t forwarded_bytes = 0;
+  std::int64_t timeouts = 0;    // frames that found this gateway dead
+  std::int64_t retries = 0;     // re-sent frames this gateway carried
+  std::int64_t failovers = 0;   // retries that switched TO this gateway
 };
 
 /// The DEEP global interconnect: cluster fabric + booster fabric + BI
@@ -66,10 +81,18 @@ class BridgedTransport final : public Transport {
   const GatewayStats& gateway_stats(hw::NodeId gateway) const;
   const BridgeParams& params() const { return params_; }
 
+  /// Sums over all gateways (plus retries that could not be routed at all).
+  std::int64_t total_retries() const;
+  std::int64_t total_failovers() const;
+  std::int64_t total_timeouts() const;
+  /// Wrapped messages abandoned after max_retries (reported to the MPI
+  /// layer as losses).
+  std::int64_t frames_lost() const { return frames_lost_; }
+
   /// RAS: marks a gateway as failed (or repaired).  Subsequent cross-fabric
-  /// traffic fails over to the remaining gateways; in-flight frames already
-  /// addressed to the failed gateway are still forwarded (link-level state
-  /// survives in the real SMFU until the board is pulled).
+  /// traffic fails over to the remaining gateways; frames already in flight
+  /// towards the failed gateway time out on arrival and re-enter the retry
+  /// path (the real SMFU stops acking once the board faults).
   void set_gateway_up(hw::NodeId gateway, bool up);
   bool gateway_up(hw::NodeId gateway) const;
   std::size_t num_gateways_up() const;
@@ -91,11 +114,24 @@ class BridgedTransport final : public Transport {
   struct CbpFrame {
     net::Message inner;
     net::Service svc;
+    int attempts = 0;  // completed wire attempts (0 on the first send)
+    hw::NodeId last_gateway = hw::kInvalidNode;
   };
 
   Side side_of(hw::NodeId node) const;
   GatewayState& pick_gateway(hw::NodeId src, hw::NodeId dst);
+  /// Retry-path selection: may return a down gateway (Pinned) or nullptr
+  /// (no healthy gateway right now) instead of throwing.
+  GatewayState* pick_gateway_for_retry(hw::NodeId src, hw::NodeId dst);
+  GatewayState* find_gateway(hw::NodeId node);
   void forward(GatewayState& gw, net::Message&& wrapped);
+  /// Drop handler installed on both fabrics: retries CBP frames, reports
+  /// naked MPI messages (same-side traffic, post-gateway legs) as lost.
+  void on_fabric_drop(net::Message&& msg);
+  /// Schedules a timed-out/dropped frame for re-send with backoff, or
+  /// reports the wrapped message lost once retries are exhausted.
+  void retry_frame(net::Message&& wrapped);
+  void resend_frame(net::Message&& wrapped);
   net::Fabric& fabric_for_side(bool cluster_side) {
     return cluster_side ? *cluster_ : *booster_;
   }
@@ -108,6 +144,8 @@ class BridgedTransport final : public Transport {
   // deque: register_gateway hands out stable references to elements.
   std::deque<GatewayState> gateways_;
   std::size_t rr_next_ = 0;
+  std::int64_t unrouted_retries_ = 0;  // retries while no gateway was up
+  std::int64_t frames_lost_ = 0;
 };
 
 }  // namespace deep::cbp

@@ -6,6 +6,8 @@
 // the DEEP global interconnect (InfiniBand + EXTOLL joined by Booster-
 // Interface gateways speaking the Cluster-Booster Protocol).
 
+#include <functional>
+
 #include "net/fabric.hpp"
 #include "net/message.hpp"
 
@@ -22,6 +24,22 @@ class Transport {
   /// The NIC on which messages for `node` are delivered (for binding
   /// protocol handlers).
   virtual net::Nic& home_nic(hw::NodeId node) = 0;
+
+  /// Installs the handler for messages the transport gives up on (dead
+  /// links, exhausted gateway retries).  The MPI layer installs this to
+  /// convert losses into request error codes; without one, losses are
+  /// counted by the fabric and silently discarded.
+  using LossHandler = std::function<void(net::Message&&)>;
+  virtual void set_loss_handler(LossHandler handler) {
+    loss_handler_ = std::move(handler);
+  }
+
+ protected:
+  void report_loss(net::Message&& msg) {
+    if (loss_handler_) loss_handler_(std::move(msg));
+  }
+
+  LossHandler loss_handler_;
 };
 
 /// Transport over one fabric; used by single-sided systems (cluster-only,
@@ -35,6 +53,14 @@ class DirectTransport final : public Transport {
   }
 
   net::Nic& home_nic(hw::NodeId node) override { return fabric_->nic(node); }
+
+  void set_loss_handler(LossHandler handler) override {
+    Transport::set_loss_handler(std::move(handler));
+    // A single fabric offers no alternative path: every MPI drop is final.
+    fabric_->set_drop_handler([this](net::Message&& msg) {
+      if (msg.port == net::Port::Mpi) report_loss(std::move(msg));
+    });
+  }
 
  private:
   net::Fabric* fabric_;

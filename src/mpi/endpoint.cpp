@@ -26,6 +26,8 @@ RequestPtr Endpoint::start_send(const EpAddr& dst, ContextId context,
                                 std::span<const std::byte> bytes) {
   auto request = std::make_shared<Request>();
   request->waiter = owner_;
+  request->op = "isend";
+  request->tag = tag;
 
   WireHeader h;
   h.context = context;
@@ -71,6 +73,9 @@ RequestPtr Endpoint::post_recv(ContextId context, Rank src, Tag tag,
                                std::span<std::byte> buffer) {
   auto request = std::make_shared<Request>();
   request->waiter = owner_;
+  request->op = "irecv";
+  request->peer = src;
+  request->tag = tag;
   PostedRecv posted{context, src, tag, buffer, request};
 
   // First try the unexpected queue (earliest arrival first).
@@ -85,6 +90,16 @@ RequestPtr Endpoint::post_recv(ContextId context, Rank src, Tag tag,
           PendingRecv{buffer, request};
       send_cts(msg.header);
     }
+    return request;
+  }
+
+  // Then the dead letters: a matching send was already reported lost, so the
+  // receive can never be satisfied — error-complete it right away.
+  for (auto it = dead_letters_.begin(); it != dead_letters_.end(); ++it) {
+    if (!matches(posted, *it)) continue;
+    const WireHeader h = *it;
+    dead_letters_.erase(it);
+    complete_error(request, ErrCode::MessageLost, h.src_rank, h.tag);
     return request;
   }
 
@@ -107,6 +122,30 @@ std::optional<Status> Endpoint::probe_unexpected(ContextId context, Rank src,
 // ---------------------------------------------------------------------------
 // One-sided (RMA engine)
 // ---------------------------------------------------------------------------
+
+void Endpoint::detach_owner() {
+  owner_ = nullptr;
+  detached_ = true;
+  // Requests still referenced here must never wake the dead process.
+  for (auto& posted : posted_) {
+    if (posted.request) posted.request->waiter = nullptr;
+  }
+  posted_.clear();
+  for (auto& [key, pending] : pending_recvs_) {
+    if (pending.request) pending.request->waiter = nullptr;
+  }
+  pending_recvs_.clear();
+  for (auto& [op, get] : pending_gets_) {
+    if (get.request) get.request->waiter = nullptr;
+  }
+  pending_gets_.clear();
+  // In-flight rendezvous sends keep their (endpoint-owned) payload so the
+  // protocol can still finish, but nobody is left to wake.
+  for (auto& [op, send] : pending_sends_) {
+    if (send.request) send.request->waiter = nullptr;
+  }
+  windows_.clear();
+}
 
 void Endpoint::expose_window(std::uint64_t win, std::span<std::byte> region) {
   DEEP_EXPECT(windows_.try_emplace(win, region).second,
@@ -135,6 +174,7 @@ RequestPtr Endpoint::start_put(const EpAddr& dst, std::uint64_t win,
                                std::span<const std::byte> data) {
   auto request = std::make_shared<Request>();
   request->waiter = owner_;
+  request->op = "put";
   const auto& p = system_->params();
 
   WireHeader h;
@@ -169,6 +209,7 @@ RequestPtr Endpoint::start_accumulate(const EpAddr& dst, std::uint64_t win,
                                       std::uint8_t dtype) {
   auto request = std::make_shared<Request>();
   request->waiter = owner_;
+  request->op = "accumulate";
   const auto& p = system_->params();
 
   WireHeader h;
@@ -213,6 +254,10 @@ void apply_accumulate(Op op, std::span<std::byte> slice,
 
 void Endpoint::handle_accum(const WireHeader& header,
                             const net::Payload& payload) {
+  if (detached_) {  // target rank died: the origin's fence reports the loss
+    system_->endpoint(header.src_ep).fail_put();
+    return;
+  }
   auto slice = window_slice(header.window, header.offset, header.bytes);
   DEEP_ASSERT(payload &&
                   static_cast<std::int64_t>(payload->size()) == header.bytes,
@@ -249,6 +294,7 @@ RequestPtr Endpoint::start_get(const EpAddr& dst, std::uint64_t win,
                                std::int64_t offset, std::span<std::byte> dest) {
   auto request = std::make_shared<Request>();
   request->waiter = owner_;
+  request->op = "get";
   const auto& p = system_->params();
 
   WireHeader h;
@@ -273,6 +319,10 @@ RequestPtr Endpoint::start_get(const EpAddr& dst, std::uint64_t win,
 }
 
 void Endpoint::handle_put(const WireHeader& header, const net::Payload& payload) {
+  if (detached_) {  // target rank died: the origin's fence reports the loss
+    system_->endpoint(header.src_ep).fail_put();
+    return;
+  }
   auto slice = window_slice(header.window, header.offset, header.bytes);
   if (header.bytes > 0) {
     DEEP_ASSERT(payload &&
@@ -304,6 +354,10 @@ void Endpoint::handle_put_ack() {
 }
 
 void Endpoint::handle_get_req(const WireHeader& header) {
+  if (detached_) {  // target rank died: error-complete the origin's get
+    system_->endpoint(header.src_ep).fail_pending_get(header.op);
+    return;
+  }
   auto slice = window_slice(header.window, header.offset, header.bytes);
   const auto& p = system_->params();
   WireHeader resp;
@@ -328,7 +382,10 @@ void Endpoint::handle_get_req(const WireHeader& header) {
 void Endpoint::handle_get_resp(const WireHeader& header,
                                const net::Payload& payload) {
   auto it = pending_gets_.find(header.op);
-  DEEP_ASSERT(it != pending_gets_.end(), "RMA: response without pending get");
+  if (it == pending_gets_.end()) {
+    DEEP_ASSERT(detached_, "RMA: response without pending get");
+    return;  // origin died before the response arrived: drop it
+  }
   PendingGet pending = std::move(it->second);
   pending_gets_.erase(it);
   DEEP_EXPECT(header.bytes == static_cast<std::int64_t>(pending.dest.size()),
@@ -359,21 +416,105 @@ void Endpoint::on_message(net::Message&& msg) {
     return;
   }
   ++expected;
+  const EpId src_ep = header->src_ep;
   process_in_order(std::move(*header), std::move(msg.payload));
+  drain_reorder(src_ep);
+}
 
-  // Drain any directly-following parked messages.
-  auto it = reorder_.find(header->src_ep);
-  if (it == reorder_.end()) return;
-  auto& parked = it->second;
-  std::uint64_t& exp = seq_in_[header->src_ep];
-  while (!parked.empty() && parked.begin()->first == exp) {
-    UnexpectedMsg next = std::move(parked.begin()->second);
-    parked.erase(parked.begin());
-    --parked_total_;
-    ++exp;
-    process_in_order(std::move(next.header), std::move(next.payload));
+void Endpoint::drain_reorder(EpId src_ep) {
+  // Consume directly-following parked messages and lost-sequence holes until
+  // the flow blocks on a number that is still genuinely in flight.
+  for (;;) {
+    std::uint64_t& exp = seq_in_[src_ep];
+    auto it = reorder_.find(src_ep);
+    if (it != reorder_.end() && !it->second.empty() &&
+        it->second.begin()->first == exp) {
+      UnexpectedMsg next = std::move(it->second.begin()->second);
+      it->second.erase(it->second.begin());
+      --parked_total_;
+      if (it->second.empty()) reorder_.erase(it);
+      ++exp;
+      process_in_order(std::move(next.header), std::move(next.payload));
+      continue;
+    }
+    auto lost = lost_seqs_.find(src_ep);
+    if (lost != lost_seqs_.end() && lost->second.contains(exp)) {
+      lost->second.erase(exp);
+      if (lost->second.empty()) lost_seqs_.erase(lost);
+      ++exp;
+      continue;
+    }
+    return;
   }
-  if (parked.empty()) reorder_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Loss recovery
+// ---------------------------------------------------------------------------
+
+void Endpoint::note_lost_seq(EpId src_ep, std::uint64_t seq) {
+  std::uint64_t& expected = seq_in_[src_ep];
+  if (seq == expected) {
+    ++expected;
+    drain_reorder(src_ep);
+    return;
+  }
+  DEEP_ASSERT(seq > expected, "Endpoint: lost sequence already consumed");
+  lost_seqs_[src_ep].insert(seq);
+}
+
+void Endpoint::fail_recv(const WireHeader& header) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(*it, header)) continue;
+    PostedRecv posted = std::move(*it);
+    posted_.erase(it);
+    complete_error(posted.request, ErrCode::MessageLost, header.src_rank,
+                   header.tag);
+    return;
+  }
+  dead_letters_.push_back(header);
+  if (owner_ != nullptr) owner_->wake();
+}
+
+void Endpoint::fail_pending_send(std::uint64_t op) {
+  auto it = pending_sends_.find(op);
+  if (it == pending_sends_.end()) return;  // already completed
+  PendingSend pending = std::move(it->second);
+  pending_sends_.erase(it);
+  complete_error(pending.request, ErrCode::MessageLost,
+                 pending.data_header.src_rank, pending.data_header.tag);
+}
+
+void Endpoint::fail_pending_recv(EpId src_ep, std::uint64_t op) {
+  auto it = pending_recvs_.find({src_ep, op});
+  if (it == pending_recvs_.end()) return;
+  PendingRecv pending = std::move(it->second);
+  pending_recvs_.erase(it);
+  complete_error(pending.request, ErrCode::MessageLost);
+}
+
+void Endpoint::fail_pending_get(std::uint64_t op) {
+  auto it = pending_gets_.find(op);
+  if (it == pending_gets_.end()) return;
+  PendingGet pending = std::move(it->second);
+  pending_gets_.erase(it);
+  complete_error(pending.request, ErrCode::MessageLost);
+}
+
+void Endpoint::fail_put() {
+  DEEP_ASSERT(outstanding_puts_ > 0,
+              "Endpoint: put failure without outstanding put");
+  --outstanding_puts_;
+  ++put_failures_;
+  if (owner_ != nullptr) owner_->wake();  // a fence may be waiting
+}
+
+void Endpoint::complete_error(const RequestPtr& request, ErrCode code,
+                              Rank source, Tag tag) {
+  request->status = Status{source, tag, 0};
+  request->error = code;
+  request->done = true;
+  if (request->waiter != nullptr) request->waiter->wake();
 }
 
 void Endpoint::process_in_order(WireHeader&& header, net::Payload&& payload) {
@@ -450,8 +591,10 @@ void Endpoint::handle_cts(const WireHeader& header) {
 
 void Endpoint::handle_rdata(WireHeader&& header, net::Payload&& payload) {
   auto it = pending_recvs_.find({header.src_ep, header.op});
-  DEEP_ASSERT(it != pending_recvs_.end(),
-              "Endpoint: rendezvous data without pending recv");
+  if (it == pending_recvs_.end()) {
+    DEEP_ASSERT(detached_, "Endpoint: rendezvous data without pending recv");
+    return;  // receiver died after sending CTS: drop the data
+  }
   PendingRecv pending = std::move(it->second);
   pending_recvs_.erase(it);
 

@@ -13,8 +13,10 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpi/types.hpp"
@@ -36,6 +38,14 @@ class Endpoint {
   /// The process that owns this endpoint (set when the rank binds).
   void set_owner(sim::Process* owner) { owner_ = owner; }
   sim::Process* owner() const { return owner_; }
+
+  /// Called when the rank's Mpi handle is destroyed (normal exit, MpiError
+  /// bail-out, or kill): every buffer span held here points into the dying
+  /// process's memory.  Drops receive-side state and windows, orphans
+  /// request waiters so completions never wake the dead process, and makes
+  /// late arrivals safe: eager data parks in the unexpected queue (which
+  /// owns its storage) and RMA to this rank fails back to the origin.
+  void detach_owner();
 
   /// Starts a send of `bytes` to `dst`; returns the request (already
   /// completed for eager sends).  `src_rank` is the caller's rank within
@@ -81,6 +91,30 @@ class Endpoint {
   /// Puts issued from this endpoint whose remote completion is pending.
   std::int64_t outstanding_puts() const { return outstanding_puts_; }
 
+  // -- loss recovery (called by MpiSystem::handle_loss) ---------------------
+  /// Marks `seq` from `src_ep` as never arriving, so later messages of the
+  /// flow are not parked forever behind the hole.
+  void note_lost_seq(EpId src_ep, std::uint64_t seq);
+  /// An inbound Eager/RTS was lost: error-completes the matching posted
+  /// receive, or records a dead letter that fails the next matching
+  /// post_recv (the receiver may not have posted yet).
+  void fail_recv(const WireHeader& header);
+  /// A rendezvous this endpoint is sending died (lost CTS or the RTS itself).
+  void fail_pending_send(std::uint64_t op);
+  /// A rendezvous this endpoint is receiving died (lost CTS or RData).
+  void fail_pending_recv(EpId src_ep, std::uint64_t op);
+  /// A one-sided read died (lost GetReq or GetResp).
+  void fail_pending_get(std::uint64_t op);
+  /// A Put/Accum (or its ack) died: remote completion will never be counted.
+  void fail_put();
+
+  /// Put/Accum operations whose remote completion was lost; consumed by
+  /// fence(), which reports them as an MpiError.
+  std::int64_t put_failures() const { return put_failures_; }
+  std::int64_t take_put_failures() {
+    return std::exchange(put_failures_, 0);
+  }
+
   /// Introspection for tests.
   std::size_t unexpected_count() const { return unexpected_.size(); }
   std::size_t posted_count() const { return posted_.size(); }
@@ -125,6 +159,9 @@ class Endpoint {
   }
 
   void process_in_order(WireHeader&& header, net::Payload&& payload);
+  void drain_reorder(EpId src_ep);
+  void complete_error(const RequestPtr& request, ErrCode code,
+                      Rank source = kAnySource, Tag tag = kAnyTag);
   void handle_eager_or_rts(WireHeader&& header, net::Payload&& payload);
   void handle_cts(const WireHeader& header);
   void handle_rdata(WireHeader&& header, net::Payload&& payload);
@@ -146,6 +183,7 @@ class Endpoint {
   EpId id_;
   hw::NodeId node_;
   sim::Process* owner_ = nullptr;
+  bool detached_ = false;  // owner died; tolerate late arrivals
 
   std::deque<PostedRecv> posted_;
   std::deque<UnexpectedMsg> unexpected_;
@@ -161,6 +199,12 @@ class Endpoint {
   std::unordered_map<EpId, std::map<std::uint64_t, UnexpectedMsg>> reorder_;
   std::size_t parked_total_ = 0;
   std::size_t lifetime_parked_ = 0;
+
+  // Loss recovery: per-flow holes left by lost messages, headers of lost
+  // sends awaiting a matching post_recv, failed remote completions.
+  std::unordered_map<EpId, std::set<std::uint64_t>> lost_seqs_;
+  std::deque<WireHeader> dead_letters_;
+  std::int64_t put_failures_ = 0;
 
   std::uint64_t next_op_ = 1;
 };

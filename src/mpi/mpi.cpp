@@ -13,7 +13,16 @@ Mpi::Mpi(MpiSystem& system, sim::Context& ctx, hw::Node& node,
       endpoint_(&endpoint),
       world_(std::move(world)),
       parent_(std::move(parent)) {
+  endpoint_ref_ = system.endpoint_ptr(endpoint.id());
   endpoint_->set_owner(&ctx.process());
+}
+
+Mpi::~Mpi() {
+  // Quiesce the endpoint: late arrivals must not touch this rank's buffers
+  // or wake its (dying) process.  Skipped when the endpoint itself is
+  // already gone — rank fibers can unwind during engine teardown, after
+  // the MpiSystem that owned the endpoints was destroyed.
+  if (auto ep = endpoint_ref_.lock()) ep->detach_owner();
 }
 
 // ---------------------------------------------------------------------------
@@ -35,8 +44,10 @@ RequestPtr Mpi::irecv_raw(ContextId context, Rank src, Tag tag,
 RequestPtr Mpi::isend_bytes(const Comm& comm, Rank dst, Tag tag,
                             std::span<const std::byte> data) {
   DEEP_EXPECT(tag >= 0, "isend: negative tags are reserved for the library");
-  return isend_raw(comm.addr_of(dst), comm.state()->ctx_p2p, comm.rank(), tag,
-                   data);
+  auto r = isend_raw(comm.addr_of(dst), comm.state()->ctx_p2p, comm.rank(),
+                     tag, data);
+  r->peer = dst;
+  return r;
 }
 
 RequestPtr Mpi::irecv_bytes(const Comm& comm, Rank src, Tag tag,
@@ -51,8 +62,10 @@ RequestPtr Mpi::irecv_bytes(const Comm& comm, Rank src, Tag tag,
 RequestPtr Mpi::isend_bytes(const Intercomm& inter, Rank dst, Tag tag,
                             std::span<const std::byte> data) {
   DEEP_EXPECT(tag >= 0, "isend: negative tags are reserved for the library");
-  return isend_raw(inter.remote_addr(dst), inter.state()->context, inter.rank(),
-                   tag, data);
+  auto r = isend_raw(inter.remote_addr(dst), inter.state()->context,
+                     inter.rank(), tag, data);
+  r->peer = dst;
+  return r;
 }
 
 RequestPtr Mpi::irecv_bytes(const Intercomm& inter, Rank src, Tag tag,
@@ -64,9 +77,34 @@ RequestPtr Mpi::irecv_bytes(const Intercomm& inter, Rank src, Tag tag,
   return irecv_raw(inter.state()->context, src, tag, buffer);
 }
 
+namespace {
+
+/// Human-readable description of a request, for deadlock reports and
+/// MpiError messages (slow paths only).
+std::string describe(const Request& r) {
+  std::string s = *r.op != '\0' ? r.op : "request";
+  if (r.peer != kAnySource) s += " peer=" + std::to_string(r.peer);
+  if (r.tag != kAnyTag) s += " tag=" + std::to_string(r.tag);
+  return s;
+}
+
+[[noreturn]] void throw_request_error(const Request& r) {
+  throw MpiError(r.error, "MPI " + describe(r) +
+                              " failed: a message it needed was lost "
+                              "(link down or gateway retries exhausted)");
+}
+
+}  // namespace
+
 void Mpi::wait(const RequestPtr& request) {
   DEEP_EXPECT(request != nullptr, "wait: null request");
-  while (!request->done) ctx_->suspend();
+  if (!request->done) {
+    sim::Process& self = ctx_->process();
+    self.set_block_note("wait(" + describe(*request) + ")");
+    while (!request->done) ctx_->suspend();
+    self.set_block_note({});
+  }
+  if (request->error != ErrCode::Success) throw_request_error(*request);
 }
 
 bool Mpi::test(const RequestPtr& request) const {
@@ -80,10 +118,21 @@ void Mpi::wait_all(std::span<const RequestPtr> requests) {
 
 std::size_t Mpi::wait_any(std::span<const RequestPtr> requests) {
   DEEP_EXPECT(!requests.empty(), "wait_any: empty request list");
+  sim::Process& self = ctx_->process();
+  bool noted = false;
   for (;;) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       DEEP_EXPECT(requests[i] != nullptr, "wait_any: null request");
-      if (requests[i]->done) return i;
+      if (!requests[i]->done) continue;
+      if (noted) self.set_block_note({});
+      if (requests[i]->error != ErrCode::Success)
+        throw_request_error(*requests[i]);
+      return i;
+    }
+    if (!noted) {
+      self.set_block_note("wait_any(" + std::to_string(requests.size()) +
+                          " requests, first: " + describe(*requests[0]) + ")");
+      noted = true;
     }
     ctx_->suspend();
   }
@@ -94,8 +143,18 @@ std::optional<Status> Mpi::iprobe(const Comm& comm, Rank src, Tag tag) {
 }
 
 Status Mpi::probe(const Comm& comm, Rank src, Tag tag) {
+  sim::Process& self = ctx_->process();
+  bool noted = false;
   for (;;) {
-    if (auto st = iprobe(comm, src, tag)) return *st;
+    if (auto st = iprobe(comm, src, tag)) {
+      if (noted) self.set_block_note({});
+      return *st;
+    }
+    if (!noted) {
+      self.set_block_note("probe(src=" + std::to_string(src) +
+                          ", tag=" + std::to_string(tag) + ")");
+      noted = true;
+    }
     ctx_->suspend();
   }
 }
@@ -271,9 +330,24 @@ void Mpi::get(const Window& window, Rank target, std::int64_t offset,
 void Mpi::fence(const Window& window) {
   DEEP_EXPECT(window.valid(), "fence: null window");
   // Local puts must be remotely complete...
-  while (endpoint_->outstanding_puts() > 0) ctx_->suspend();
-  // ...and every member must have reached the same point.
+  if (endpoint_->outstanding_puts() > 0) {
+    sim::Process& self = ctx_->process();
+    self.set_block_note("fence: waiting for remote completion of " +
+                        std::to_string(endpoint_->outstanding_puts()) +
+                        " one-sided op(s)");
+    while (endpoint_->outstanding_puts() > 0) ctx_->suspend();
+    self.set_block_note({});
+  }
+  // A lost Put/Accum (or its ack) counts as a failed remote completion.
+  const std::int64_t lost = endpoint_->take_put_failures();
+  // ...and every member must have reached the same point.  Keep the
+  // collective in step even on failure, then report (comm_spawn precedent).
   barrier(window.comm());
+  if (lost > 0) {
+    throw MpiError(ErrCode::MessageLost,
+                   "MPI fence failed: " + std::to_string(lost) +
+                       " one-sided operation(s) lost on the wire");
+  }
 }
 
 // ---------------------------------------------------------------------------

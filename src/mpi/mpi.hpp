@@ -15,6 +15,7 @@
 // and comm_spawn, with identical arguments) in the same order.
 
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -37,6 +38,10 @@ class Mpi {
 
   Mpi(const Mpi&) = delete;
   Mpi& operator=(const Mpi&) = delete;
+
+  /// Detaches the endpoint: after the rank's handle dies (normal exit or
+  /// error bail-out), late arrivals must not touch its buffers or process.
+  ~Mpi();
 
   // -- environment ---------------------------------------------------------
   const Comm& world() const { return world_; }
@@ -295,6 +300,9 @@ class Mpi {
   sim::Context* ctx_;
   hw::Node* node_;
   Endpoint* endpoint_;
+  // Liveness witness for endpoint_: the destructor must not touch an
+  // endpoint that died with its MpiSystem before this rank's fiber unwound.
+  std::weak_ptr<Endpoint> endpoint_ref_;
   Comm world_;
   std::optional<Intercomm> parent_;
 };

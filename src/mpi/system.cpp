@@ -11,13 +11,15 @@ MpiSystem::MpiSystem(sim::Engine& engine, cbp::Transport& transport,
   DEEP_EXPECT(params_.eager_threshold >= 0,
               "MpiSystem: negative eager threshold");
   DEEP_EXPECT(params_.header_bytes >= 0, "MpiSystem: negative header size");
+  transport_->set_loss_handler(
+      [this](net::Message&& msg) { handle_loss(std::move(msg)); });
 }
 
 MpiSystem::~MpiSystem() = default;
 
 Endpoint& MpiSystem::create_endpoint(hw::NodeId node) {
   const EpId id = next_ep_++;
-  auto ep = std::make_unique<Endpoint>(*this, id, node);
+  auto ep = std::make_shared<Endpoint>(*this, id, node);
   Endpoint& ref = *ep;
   endpoints_.emplace(id, std::move(ep));
 
@@ -41,8 +43,59 @@ Endpoint& MpiSystem::endpoint(EpId id) {
   return *it->second;
 }
 
+std::shared_ptr<Endpoint> MpiSystem::endpoint_ptr(EpId id) {
+  auto it = endpoints_.find(id);
+  DEEP_EXPECT(it != endpoints_.end(), "MpiSystem: unknown endpoint");
+  return it->second;
+}
+
 void MpiSystem::route(net::Message msg, net::Service svc) {
   transport_->send(std::move(msg), svc);
+}
+
+void MpiSystem::handle_loss(net::Message&& msg) {
+  auto* h = std::any_cast<WireHeader>(&msg.header);
+  if (h == nullptr) return;  // not an MPI protocol message
+  ++messages_lost_;
+
+  // The destination endpoint will never see this sequence number; punch the
+  // hole so later messages of the flow are not parked behind it forever.
+  Endpoint& dst = endpoint(h->dst_ep);
+  dst.note_lost_seq(h->src_ep, h->seq);
+
+  switch (h->kind) {
+    case MsgKind::Eager:
+      dst.fail_recv(*h);
+      return;
+    case MsgKind::Rts:
+      // The receiver never learns of the send; the sender's rendezvous is
+      // stuck waiting for a CTS that cannot come.
+      endpoint(h->src_ep).fail_pending_send(h->op);
+      dst.fail_recv(*h);
+      return;
+    case MsgKind::Cts:
+      // CTS travels receiver -> sender: dst is the sender (pending send),
+      // src the receiver (pending recv keyed by the sender's endpoint).
+      dst.fail_pending_send(h->op);
+      endpoint(h->src_ep).fail_pending_recv(h->dst_ep, h->op);
+      return;
+    case MsgKind::RData:
+      dst.fail_pending_recv(h->src_ep, h->op);
+      return;
+    case MsgKind::Put:
+    case MsgKind::Accum:
+      endpoint(h->src_ep).fail_put();
+      return;
+    case MsgKind::PutAck:
+      dst.fail_put();
+      return;
+    case MsgKind::GetReq:
+      endpoint(h->src_ep).fail_pending_get(h->op);
+      return;
+    case MsgKind::GetResp:
+      dst.fail_pending_get(h->op);
+      return;
+  }
 }
 
 ContextId MpiSystem::context_block(std::uint64_t key_a, std::uint64_t key_b) {

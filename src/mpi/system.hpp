@@ -64,9 +64,21 @@ class MpiSystem {
   /// NIC MPI port on first use.
   Endpoint& create_endpoint(hw::NodeId node);
   Endpoint& endpoint(EpId id);
+  /// Shared handle to an endpoint.  Mpi keeps a weak_ptr so its destructor
+  /// can quiesce the endpoint if it still exists — rank fibers may unwind
+  /// during engine teardown, after this system (and its endpoints) died.
+  std::shared_ptr<Endpoint> endpoint_ptr(EpId id);
 
   /// Sends an MPI wire message (routing is the transport's business).
   void route(net::Message msg, net::Service svc);
+
+  /// Transport loss callback: converts an unrecoverable wire loss into error
+  /// completions on the affected requests (both sides of the protocol), so
+  /// blocked ranks observe an MpiError instead of hanging forever.
+  void handle_loss(net::Message&& msg);
+
+  /// Wire messages the transport reported as unrecoverably lost.
+  std::int64_t messages_lost() const { return messages_lost_; }
 
   /// Allocates a fresh block of context ids; memoised on `key` so every rank
   /// performing the same collective (split/dup/merge/spawn) sees the same
@@ -106,12 +118,13 @@ class MpiSystem {
   MpiParams params_;
   std::uint64_t next_ep_ = 1;
   std::uint64_t next_context_ = 1;
-  std::unordered_map<EpId, std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<EpId, std::shared_ptr<Endpoint>> endpoints_;
   // node -> endpoints homed there (NIC demux).
   std::unordered_map<hw::NodeId, std::vector<Endpoint*>> by_node_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, ContextId> context_memo_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, SpawnResult> spawn_memo_;
   Spawner spawner_;
+  std::int64_t messages_lost_ = 0;
 };
 
 }  // namespace deep::mpi

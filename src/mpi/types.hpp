@@ -9,6 +9,7 @@
 
 #include "hw/spec.hpp"
 #include "sim/engine.hpp"
+#include "util/error.hpp"
 
 namespace deep::mpi {
 
@@ -68,12 +69,39 @@ using GroupPtr = std::shared_ptr<const GroupInfo>;
 /// Key-value hints passed to spawn (MPI_Info equivalent).
 using Info = std::map<std::string, std::string>;
 
+/// How a request ended.  Fault injection (deep::net::FaultPlan) makes wire
+/// losses real: an unrecoverable loss error-completes the affected request
+/// instead of leaving its owner blocked forever.
+enum class ErrCode : std::uint8_t {
+  Success = 0,
+  MessageLost,  // the transport gave up on a message this request needed
+};
+
+/// Thrown by wait()/fence() when a request completed with an error — the
+/// simulated equivalent of an MPI error raised on MPI_ERRORS_RETURN/ABORT.
+class MpiError : public util::SimError {
+ public:
+  MpiError(ErrCode code, const std::string& what)
+      : util::SimError(what), code_(code) {}
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
+};
+
 /// One in-flight point-to-point operation.  Created by isend/irecv, completed
 /// by the endpoint, released by wait().
 struct Request {
   bool done = false;
   Status status;
   sim::Process* waiter = nullptr;  // process to wake on completion
+  ErrCode error = ErrCode::Success;
+
+  // Cheap diagnostics, filled in at start: what the blocked-process report
+  // and MpiError messages say.  Strings are only built on those slow paths.
+  const char* op = "";
+  Rank peer = kAnySource;
+  Tag tag = kAnyTag;
 };
 
 using RequestPtr = std::shared_ptr<Request>;

@@ -33,6 +33,7 @@ class CrossbarFabric final : public Fabric {
     DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
                 "CrossbarFabric::send: endpoint not attached");
     DEEP_EXPECT(msg.size_bytes >= 0, "CrossbarFabric::send: negative size");
+    if (faulted(msg)) return;
     const sim::TimePoint now = engine_->now();
     const sim::Duration wire = serialisation(msg.size_bytes);
 

@@ -1,10 +1,22 @@
 #pragma once
 // Fabric interface: a network that connects attached nodes and delivers
 // Messages to their NICs after a modelled delay.
+//
+// Fault model (see docs/fault_injection.md): every fabric carries an
+// administrative link-state table (set_link_up) and an optional per-message
+// drop hook (set_drop_fn, installed by net::FaultPlan for probabilistic
+// faults).  A message whose route crosses a dead link, or that the drop hook
+// selects, is *dropped*: counted in FabricStats::messages_dropped and handed
+// to the drop handler (the CBP bridge retries frames, the MPI layer turns
+// losses into error codes).  With no dead links and no drop hook installed
+// the fault path costs one branch per send.
 
+#include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "net/message.hpp"
 #include "net/nic.hpp"
@@ -18,6 +30,7 @@ namespace deep::net {
 struct FabricStats {
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
+  std::int64_t messages_dropped = 0;  // lost to dead links / injected drops
   sim::Summary delivery_us;  // end-to-end per-message latency in microseconds
 };
 
@@ -55,7 +68,76 @@ class Fabric {
 
   const FabricStats& stats() const { return stats_; }
 
+  // -- fault injection --------------------------------------------------------
+
+  /// Marks the link between two attached nodes dead (up=false) or healed.
+  /// The pair is unordered (both directions fail together, like pulling a
+  /// cable).  `a == b` kills the node's own fabric access (NIC failure).
+  void set_link_up(hw::NodeId a, hw::NodeId b, bool up) {
+    DEEP_EXPECT(attached(a) && attached(b),
+                "Fabric::set_link_up: node not attached");
+    if (up)
+      down_links_.erase(link_pair(a, b));
+    else
+      down_links_.insert(link_pair(a, b));
+  }
+
+  /// True unless set_link_up(a, b, false) is in effect.
+  bool link_up(hw::NodeId a, hw::NodeId b) const {
+    return !down_links_.contains(link_pair(a, b));
+  }
+
+  std::size_t links_down() const { return down_links_.size(); }
+
+  /// Per-message drop hook (probabilistic fault injection).  Consulted once
+  /// per send; returning true drops the message.  Pass nullptr to clear.
+  using DropFn = std::function<bool(const Message&)>;
+  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+
+  /// Handler invoked with every dropped message (after the drop is counted).
+  /// Installed by the transport layer to drive retries / loss reporting;
+  /// one handler per fabric.
+  using DropHandler = std::function<void(Message&&)>;
+  void set_drop_handler(DropHandler handler) {
+    drop_handler_ = std::move(handler);
+  }
+
  protected:
+  /// True when the path this fabric would route src->dst over is usable.
+  /// The base implementation knows only the endpoints; topology-aware
+  /// fabrics (the torus) override it to walk the actual route.  Called only
+  /// while at least one link is down.
+  virtual bool route_up(hw::NodeId src, hw::NodeId dst) const {
+    return link_up(src, dst);
+  }
+
+  /// Fault gate, called at the top of every send() override: returns true
+  /// (and consumes `msg`) when the message is dropped.  Costs one branch
+  /// when no faults are configured.
+  bool faulted(Message& msg) {
+    if (down_links_.empty() && !drop_fn_) return false;
+    const bool blocked =
+        !down_links_.empty() &&
+        (!link_up(msg.src, msg.src) || !link_up(msg.dst, msg.dst) ||
+         !route_up(msg.src, msg.dst));
+    if (!blocked && !(drop_fn_ && drop_fn_(msg))) return false;
+    drop(std::move(msg));
+    return true;
+  }
+
+  /// Books and reports a dropped message.
+  void drop(Message&& msg) {
+    stats_.messages_dropped += 1;
+    if (auto* tracer = engine_->tracer()) {
+      tracer->instant(name_ + " wire",
+                      "drop " + std::to_string(msg.src) + "->" +
+                          std::to_string(msg.dst) + " " +
+                          std::to_string(msg.size_bytes) + "B",
+                      engine_->now(), "fault");
+    }
+    if (drop_handler_) drop_handler_(std::move(msg));
+  }
+
   /// Schedules delivery at absolute time `at` and books the statistics.
   void deliver_at(sim::TimePoint at, Message msg) {
     stats_.messages += 1;
@@ -76,6 +158,16 @@ class Fabric {
   std::string name_;
   std::unordered_map<hw::NodeId, std::unique_ptr<Nic>> nics_;
   FabricStats stats_;
+
+ private:
+  static std::pair<hw::NodeId, hw::NodeId> link_pair(hw::NodeId a,
+                                                     hw::NodeId b) {
+    return a <= b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  std::set<std::pair<hw::NodeId, hw::NodeId>> down_links_;
+  DropFn drop_fn_;
+  DropHandler drop_handler_;
 };
 
 }  // namespace deep::net

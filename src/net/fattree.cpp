@@ -34,6 +34,7 @@ void FatTreeFabric::send(Message msg, Service svc) {
   DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
               "FatTreeFabric::send: endpoint not attached");
   DEEP_EXPECT(msg.size_bytes >= 0, "FatTreeFabric::send: negative size");
+  if (faulted(msg)) return;
   const sim::Duration wire = serialisation(msg.size_bytes);
   const int src_leaf = leaf_of(msg.src);
   const int dst_leaf = leaf_of(msg.dst);

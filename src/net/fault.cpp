@@ -1,0 +1,59 @@
+#include "net/fault.hpp"
+
+namespace deep::net {
+
+FaultPlan::FaultPlan(sim::Engine& engine, FaultSpec spec)
+    : engine_(&engine), spec_(std::move(spec)), rng_(spec_.seed) {
+  DEEP_EXPECT(spec_.drop_probability >= 0.0 && spec_.drop_probability < 1.0,
+              "FaultPlan: drop probability outside [0, 1)");
+  for (const LinkEvent& ev : spec_.links)
+    DEEP_EXPECT(ev.a != hw::kInvalidNode && ev.b != hw::kInvalidNode,
+                "FaultPlan: link event names an invalid node");
+  for (const GatewayEvent& ev : spec_.gateways)
+    DEEP_EXPECT(ev.gateway != hw::kInvalidNode,
+                "FaultPlan: gateway event names an invalid node");
+}
+
+void FaultPlan::attach(Fabric& fabric) {
+  DEEP_EXPECT(!armed_, "FaultPlan::attach: plan already armed");
+  if (!spec_.active()) return;  // plan is a no-op; leave the fabric untouched
+  fabrics_.push_back(&fabric);
+  if (spec_.drop_probability > 0.0) {
+    // One shared RNG across fabrics: the engine serialises all sends, so the
+    // consumption order — and with it every drop decision — is deterministic.
+    fabric.set_drop_fn([this](const Message&) {
+      if (!rng_.chance(spec_.drop_probability)) return false;
+      ++injected_drops_;
+      return true;
+    });
+  }
+}
+
+void FaultPlan::set_gateway_control(GatewayControl control) {
+  DEEP_EXPECT(!armed_, "FaultPlan::set_gateway_control: plan already armed");
+  gateway_control_ = std::move(control);
+}
+
+void FaultPlan::arm() {
+  DEEP_EXPECT(!armed_, "FaultPlan::arm: already armed");
+  armed_ = true;
+  if (!spec_.active()) return;
+  DEEP_EXPECT(spec_.gateways.empty() || gateway_control_,
+              "FaultPlan::arm: gateway events without a gateway control hook");
+  for (const LinkEvent& ev : spec_.links) {
+    engine_->schedule_at(ev.at, [this, ev] {
+      // Apply on every attached fabric that knows both nodes (a pair may
+      // exist on one side of a bridged system only).
+      for (Fabric* fabric : fabrics_) {
+        if (fabric->attached(ev.a) && fabric->attached(ev.b))
+          fabric->set_link_up(ev.a, ev.b, ev.up);
+      }
+    });
+  }
+  for (const GatewayEvent& ev : spec_.gateways) {
+    engine_->schedule_at(
+        ev.at, [this, ev] { gateway_control_(ev.gateway, ev.up); });
+  }
+}
+
+}  // namespace deep::net

@@ -1,0 +1,90 @@
+#pragma once
+// Fault injection: seeded, schedule- and probability-driven hardware faults.
+//
+// A FaultSpec describes what goes wrong (dead links, failed gateways, a
+// per-message drop probability) and when; a FaultPlan turns the spec into
+// engine events against one or more fabrics and — through an opaque control
+// hook — the CBP gateway layer.  Everything is driven by virtual time and a
+// single util::Rng seeded from the spec, so a given (workload, spec) pair
+// replays bit-identically: the chaos tests assert byte-equal traces.
+//
+// Pay-for-what-you-use: a spec with zero probability and empty schedules
+// installs nothing at all — the instrumented layers behave exactly as if no
+// FaultPlan existed (asserted by a property test).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace deep::net {
+
+/// Scheduled change of one link's administrative state.
+struct LinkEvent {
+  sim::TimePoint at;
+  hw::NodeId a = hw::kInvalidNode;
+  hw::NodeId b = hw::kInvalidNode;
+  bool up = false;  // false: kill the link at `at`; true: heal it
+};
+
+/// Scheduled change of one gateway's state (applied via the control hook).
+struct GatewayEvent {
+  sim::TimePoint at;
+  hw::NodeId gateway = hw::kInvalidNode;
+  bool up = false;
+};
+
+struct FaultSpec {
+  std::uint64_t seed = 0xFA17;
+  /// Probability that any single fabric traversal drops the message.
+  double drop_probability = 0.0;
+  std::vector<LinkEvent> links;
+  std::vector<GatewayEvent> gateways;
+
+  /// False for the all-defaults spec: such a plan is a complete no-op.
+  bool active() const {
+    return drop_probability > 0.0 || !links.empty() || !gateways.empty();
+  }
+};
+
+/// Materialises a FaultSpec against attached fabrics and the gateway layer.
+/// Usage: construct, attach() every fabric, set_gateway_control() if the
+/// spec has gateway events, then arm() once before running the simulation.
+class FaultPlan {
+ public:
+  FaultPlan(sim::Engine& engine, FaultSpec spec);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Subjects `fabric` to this plan (drop probability + link events whose
+  /// endpoints are attached to it).  The plan must outlive the fabric's use.
+  void attach(Fabric& fabric);
+
+  /// Hook through which gateway events are applied (typically
+  /// cbp::BridgedTransport::set_gateway_up); keeps net:: independent of cbp.
+  using GatewayControl = std::function<void(hw::NodeId, bool)>;
+  void set_gateway_control(GatewayControl control);
+
+  /// Schedules every link/gateway event on the engine.  Call exactly once,
+  /// after all attach()/set_gateway_control() calls, before the run.
+  void arm();
+
+  /// Messages dropped by this plan's probability hook (all fabrics).
+  std::int64_t injected_drops() const { return injected_drops_; }
+
+ private:
+  sim::Engine* engine_;
+  FaultSpec spec_;
+  util::Rng rng_;
+  std::vector<Fabric*> fabrics_;
+  GatewayControl gateway_control_;
+  std::int64_t injected_drops_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace deep::net

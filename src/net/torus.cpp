@@ -98,6 +98,33 @@ std::vector<TorusFabric::LinkKey> TorusFabric::route(TorusCoord a,
   return links;
 }
 
+bool TorusFabric::route_up(hw::NodeId src, hw::NodeId dst) const {
+  TorusCoord cur = coord_of(src);
+  const TorusCoord b = coord_of(dst);
+  const auto node_at = [this](const TorusCoord& c) {
+    auto it = by_linear_.find(linear(c));
+    return it == by_linear_.end() ? hw::kInvalidNode : it->second;
+  };
+  const auto walk = [&](int dim) {
+    int* cur_axis = dim == 0 ? &cur.x : dim == 1 ? &cur.y : &cur.z;
+    const int target = dim == 0 ? b.x : dim == 1 ? b.y : b.z;
+    int d = displacement(*cur_axis, target, dim);
+    const bool positive = d > 0;
+    const int n = params_.dims[dim];
+    while (d != 0) {
+      const hw::NodeId from = node_at(cur);
+      *cur_axis = ((*cur_axis + (positive ? 1 : -1)) % n + n) % n;
+      const hw::NodeId to = node_at(cur);
+      if (from != hw::kInvalidNode && to != hw::kInvalidNode &&
+          !link_up(from, to))
+        return false;
+      d += positive ? -1 : 1;
+    }
+    return true;
+  };
+  return walk(0) && walk(1) && walk(2);
+}
+
 sim::Duration TorusFabric::retransmission_penalty(std::int64_t bytes,
                                                   int nlinks) {
   if (params_.packet_error_rate <= 0.0 || bytes <= 0 || nlinks == 0) return {};
@@ -134,6 +161,7 @@ void TorusFabric::send(Message msg, Service svc) {
   DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
               "TorusFabric::send: endpoint not attached");
   DEEP_EXPECT(msg.size_bytes >= 0, "TorusFabric::send: negative size");
+  if (faulted(msg)) return;
   const TorusCoord a = coord_of(msg.src);
   const TorusCoord b = coord_of(msg.dst);
 

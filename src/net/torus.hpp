@@ -73,6 +73,12 @@ class TorusFabric final : public Fabric {
                              params_.bandwidth_bytes_per_sec);
   }
 
+ protected:
+  /// Walks the dimension-ordered route and fails if any hop between two
+  /// attached nodes crosses a dead link (coordinates without an attached
+  /// node cannot be named by set_link_up and are skipped).
+  bool route_up(hw::NodeId src, hw::NodeId dst) const override;
+
  private:
   // Directed link identifier: source router coordinate + channel (dimension
   // + sign, injection, ejection, or engine pseudo-link).

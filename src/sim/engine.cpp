@@ -198,19 +198,56 @@ bool Engine::run_until(TimePoint t) {
   return true;
 }
 
-void Engine::check_deadlock_or_finish() {
-  std::ostringstream stuck;
-  bool deadlock = false;
-  for (const auto& p : processes_) {
-    if (p->finished() || p->daemon()) continue;
-    deadlock = true;
-    stuck << ' ' << p->name() << "(id=" << p->id() << ')';
+namespace {
+
+const char* state_name(Process::State s) {
+  switch (s) {
+    case Process::State::Created:
+      return "created";
+    case Process::State::Runnable:
+      return "runnable";
+    case Process::State::Sleeping:
+      return "sleeping";
+    case Process::State::Waiting:
+      return "waiting";
+    case Process::State::Finished:
+      return "finished";
   }
-  if (deadlock) {
+  return "?";
+}
+
+}  // namespace
+
+void Engine::check_deadlock_or_finish() {
+  // Two distinct "queue drained" outcomes: only daemons left (a normal end
+  // of simulation — they are torn down or left idle by the caller) versus
+  // non-daemon processes still blocked, which is a real deadlock.  The
+  // report names every stuck process and, when the blocking layer set one,
+  // what it was waiting for (e.g. an MPI recv whose peer died with a link).
+  std::size_t stuck_count = 0;
+  std::size_t daemons_alive = 0;
+  std::ostringstream stuck;
+  for (const auto& p : processes_) {
+    if (p->finished()) continue;
+    if (p->daemon()) {
+      ++daemons_alive;
+      continue;
+    }
+    ++stuck_count;
+    stuck << "\n  " << p->name() << " (id=" << p->id() << ", "
+          << state_name(p->state()) << ')';
+    if (!p->block_note().empty()) stuck << ": blocked on " << p->block_note();
+  }
+  if (stuck_count > 0) {
     kill_all_unfinished();
-    throw util::SimError(
-        "simulation deadlock: event queue empty but processes still waiting:" +
-        stuck.str());
+    std::ostringstream msg;
+    msg << "simulation deadlock: event queue drained with " << stuck_count
+        << " process(es) still blocked";
+    if (daemons_alive > 0)
+      msg << " (" << daemons_alive
+          << " daemon(s) alive and idle, which alone would be a normal end)";
+    msg << ':' << stuck.str();
+    throw util::SimError(msg.str());
   }
 }
 

@@ -122,6 +122,12 @@ class Process {
   /// suspend().  Safe to call multiple times (wakes collapse).
   void wake();
 
+  /// Free-form "what am I blocked on" annotation shown by the deadlock
+  /// report.  Blocking layers (e.g. MPI wait) set it before suspending and
+  /// clear it on resume; it costs nothing unless a process actually blocks.
+  void set_block_note(std::string note) { block_note_ = std::move(note); }
+  const std::string& block_note() const { return block_note_; }
+
  private:
   friend class Engine;
   friend class Context;
@@ -144,6 +150,7 @@ class Process {
   std::function<void(Context&)> body_;
 
   State state_ = State::Created;
+  std::string block_note_;
   bool wake_pending_ = false;
   bool resume_scheduled_ = false;
   bool kill_requested_ = false;

@@ -7,6 +7,7 @@
 #include "hw/spec.hpp"
 #include "mpi/system.hpp"
 #include "net/crossbar.hpp"
+#include "net/fault.hpp"
 #include "net/torus.hpp"
 #include "sim/time.hpp"
 
@@ -32,6 +33,10 @@ struct SystemConfig {
   net::TorusParams extoll;  // dims auto-derived when left {0,0,0}
   cbp::BridgeParams bridge;
   mpi::MpiParams mpi;
+
+  /// Fault injection (RAS testing): applied to both fabrics and the CBP
+  /// gateways.  The all-defaults spec is inactive and installs nothing.
+  net::FaultSpec faults;
 
   AllocPolicy alloc_policy = AllocPolicy::Dynamic;
   int static_partitions = 0;  // used with StaticPartition; 0 = cluster_nodes

@@ -16,7 +16,9 @@ void fabric_rows(util::Table& table, const net::Fabric& fabric) {
       .add(fabric.stats().messages)
       .add(util::format_bytes(fabric.stats().bytes))
       .add(fabric.stats().delivery_us.mean())
-      .add(fabric.stats().delivery_us.max());
+      .add(fabric.stats().delivery_us.max())
+      .add(fabric.stats().messages_dropped)
+      .add(static_cast<std::int64_t>(fabric.links_down()));
 }
 
 }  // namespace
@@ -29,12 +31,14 @@ std::string format_report(DeepSystem& system) {
      << system.config().booster_nodes << " booster + "
      << system.config().gateways << " gateways\n\n";
 
-  util::Table fabrics({"fabric", "messages", "bytes", "mean_us", "max_us"});
+  util::Table fabrics({"fabric", "messages", "bytes", "mean_us", "max_us",
+                       "dropped", "links_down"});
   fabric_rows(fabrics, system.ib());
   fabric_rows(fabrics, system.extoll());
   os << fabrics.to_pretty() << '\n';
 
-  util::Table gw({"gateway", "forwarded_msgs", "forwarded_bytes", "up"});
+  util::Table gw({"gateway", "forwarded_msgs", "forwarded_bytes", "timeouts",
+                  "retries", "failovers", "up"});
   for (int g = 0; g < system.config().gateways; ++g) {
     const hw::NodeId id = static_cast<hw::NodeId>(
         system.config().cluster_nodes + system.config().booster_nodes + g);
@@ -43,9 +47,19 @@ std::string format_report(DeepSystem& system) {
         .add(system.node(id).name())
         .add(stats.forwarded_messages)
         .add(util::format_bytes(stats.forwarded_bytes))
+        .add(stats.timeouts)
+        .add(stats.retries)
+        .add(stats.failovers)
         .add(system.bridge().gateway_up(id) ? "yes" : "NO");
   }
   os << gw.to_pretty() << '\n';
+  if (system.bridge().frames_lost() > 0 ||
+      system.mpi_system().messages_lost() > 0) {
+    os << "losses: " << system.bridge().frames_lost()
+       << " CBP frame(s) abandoned after retries, "
+       << system.mpi_system().messages_lost()
+       << " MPI message(s) reported lost\n\n";
+  }
 
   const auto& rm = system.resource_manager();
   os << "booster allocation: "

@@ -101,6 +101,16 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   mpi_->set_spawner([this](const mpi::SpawnRequest& request) {
     return spawn_children(request);
   });
+
+  if (config_.faults.active()) {
+    fault_plan_ = std::make_unique<net::FaultPlan>(engine_, config_.faults);
+    fault_plan_->attach(*ib_);
+    fault_plan_->attach(*extoll_);
+    fault_plan_->set_gateway_control([this](hw::NodeId gw, bool up) {
+      bridge_->set_gateway_up(gw, up);
+    });
+    fault_plan_->arm();
+  }
 }
 
 DeepSystem::~DeepSystem() = default;

@@ -17,6 +17,7 @@
 #include "hw/node.hpp"
 #include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
+#include "net/fault.hpp"
 #include "net/torus.hpp"
 #include "ompss/offload.hpp"
 #include "sim/engine.hpp"
@@ -97,6 +98,8 @@ class DeepSystem {
   net::CrossbarFabric& ib() { return *ib_; }
   net::TorusFabric& extoll() { return *extoll_; }
   mpi::MpiSystem& mpi_system() { return *mpi_; }
+  /// The armed fault plan, or nullptr when config().faults is inactive.
+  net::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   hw::Node& cluster_node(int i);
   hw::Node& booster_node(int i);
@@ -134,6 +137,7 @@ class DeepSystem {
   std::unique_ptr<net::TorusFabric> extoll_;
   std::unique_ptr<cbp::BridgedTransport> bridge_;
   std::unique_ptr<mpi::MpiSystem> mpi_;
+  std::unique_ptr<net::FaultPlan> fault_plan_;
   std::unique_ptr<ResourceManager> rm_;
   ProgramRegistry programs_;
   ompss::KernelRegistry kernels_;

@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "cbp/gateway.hpp"
 #include "cbp/transport.hpp"
+#include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
 #include "net/torus.hpp"
 #include "sim/engine.hpp"
 #include "util/error.hpp"
+
+#include "mpi_rig.hpp"
 
 namespace dc = deep::cbp;
 namespace dn = deep::net;
@@ -234,4 +241,203 @@ TEST(DirectTransport, DeliversOnSingleFabric) {
   t.send(mk(0, 1, 64), dn::Service::Small);
   eng.run();
   EXPECT_EQ(got, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / backoff / failover (fault-injection support).
+// ---------------------------------------------------------------------------
+
+TEST(BridgeRetry, BoundedRetriesThenLoss) {
+  // A frame bound for a gateway that dies while it is in flight must be
+  // retried at most max_retries times and then reported lost -- never
+  // retried forever.
+  Rig rig;  // one gateway, defaults: max_retries = 4
+  std::vector<dn::Message> lost;
+  rig.bridge.set_loss_handler(
+      [&](dn::Message&& m) { lost.push_back(std::move(m)); });
+  rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.bridge.set_gateway_up(20, false);  // dies with the frame in flight
+  rig.eng.run();
+
+  EXPECT_EQ(rig.bridge.gateway_stats(20).timeouts, 1);
+  // With the only gateway down, every retry is unrouted; the budget is
+  // consumed exactly once per backoff round.
+  EXPECT_EQ(rig.bridge.total_retries(), rig.bridge.params().max_retries);
+  EXPECT_EQ(rig.bridge.frames_lost(), 1);
+  ASSERT_EQ(lost.size(), 1u);
+  // The *inner* message surfaces, not the CBP wrapper.
+  EXPECT_EQ(lost[0].dst, 12);
+  EXPECT_EQ(lost[0].port, dn::Port::Raw);
+  EXPECT_EQ(lost[0].size_bytes, 64);
+}
+
+TEST(BridgeRetry, BackoffIsMonotone) {
+  // Exponential backoff must stretch the retry schedule: with factor 2 the
+  // loss lands after T*(1+2+4+8) of waiting, with factor 1 after only 4*T.
+  const auto loss_time = [](double factor) {
+    dc::BridgeParams params;
+    params.retry_timeout = ds::from_micros(10);
+    params.backoff_factor = factor;
+    params.max_retries = 4;
+    Rig rig(params);
+    std::int64_t when = -1;
+    rig.bridge.set_loss_handler(
+        [&](dn::Message&&) { when = rig.eng.now().ps; });
+    rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+    rig.bridge.set_gateway_up(20, false);
+    rig.eng.run();
+    EXPECT_GE(when, 0) << "frame was never reported lost";
+    return when;
+  };
+  const std::int64_t flat = loss_time(1.0);
+  const std::int64_t doubling = loss_time(2.0);
+  EXPECT_GT(doubling, flat);
+  // Lower bound: the doubling schedule alone sums to 15 * 10us.
+  EXPECT_GE(doubling, ds::from_micros(150).ps);
+  EXPECT_LT(flat, ds::from_micros(150).ps);
+}
+
+TEST(BridgeRetry, ByPairPolicyFailsOverToHealthyGateway) {
+  dc::BridgeParams params;
+  params.policy = dc::GatewayPolicy::ByPair;
+  Rig rig(params, 2);
+  int delivered = 0;
+  rig.bridge.home_nic(12).bind(dn::Port::Raw,
+                               [&](dn::Message&&) { ++delivered; });
+  // Pair (0,12) hashes onto gateway 20; kill it with the frame in flight.
+  rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.bridge.set_gateway_up(20, false);
+  rig.eng.run();
+
+  EXPECT_EQ(delivered, 1) << "failover should still deliver";
+  EXPECT_EQ(rig.bridge.gateway_stats(20).timeouts, 1);
+  EXPECT_EQ(rig.bridge.gateway_stats(21).failovers, 1);
+  EXPECT_EQ(rig.bridge.gateway_stats(21).retries, 1);
+  EXPECT_EQ(rig.bridge.frames_lost(), 0);
+}
+
+TEST(BridgeRetry, PinnedPolicyNeverFailsOver) {
+  // Same scenario as above but with Pinned routing: the pair keeps retrying
+  // its dead gateway, gateway 21 never carries anything, and the frame is
+  // eventually lost.
+  dc::BridgeParams params;
+  params.policy = dc::GatewayPolicy::Pinned;
+  Rig rig(params, 2);
+  int delivered = 0;
+  rig.bridge.home_nic(12).bind(dn::Port::Raw,
+                               [&](dn::Message&&) { ++delivered; });
+  rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.bridge.set_gateway_up(20, false);
+  rig.eng.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rig.bridge.total_failovers(), 0);
+  EXPECT_EQ(rig.bridge.gateway_stats(21).forwarded_messages, 0);
+  // Every retry went back to the pinned gateway and timed out again.
+  EXPECT_EQ(rig.bridge.gateway_stats(20).retries,
+            rig.bridge.params().max_retries);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).timeouts,
+            rig.bridge.params().max_retries + 1);
+  EXPECT_EQ(rig.bridge.frames_lost(), 1);
+}
+
+TEST(BridgeRetry, WireDropTriggersRetryAndDelivers) {
+  // A frame dropped on the wire (not at a gateway) re-enters the retry path
+  // via the fabric drop handler and is delivered on the second attempt.
+  Rig rig;
+  int delivered = 0;
+  rig.bridge.home_nic(12).bind(dn::Port::Raw,
+                               [&](dn::Message&&) { ++delivered; });
+  int cbp_seen = 0;
+  rig.ib.set_drop_fn([&](const dn::Message& m) {
+    return m.port == dn::Port::Cbp && ++cbp_seen == 1;  // drop first frame
+  });
+  rig.bridge.send(mk(0, 12, 64), dn::Service::Small);
+  rig.eng.run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rig.ib.stats().messages_dropped, 1);
+  EXPECT_EQ(rig.bridge.gateway_stats(20).retries, 1);
+  EXPECT_EQ(rig.bridge.total_failovers(), 0);  // same gateway, re-sent
+  EXPECT_EQ(rig.bridge.frames_lost(), 0);
+}
+
+TEST(BridgeRetry, RetryParamValidation) {
+  dc::BridgeParams params;
+  params.backoff_factor = 0.5;  // would retry *faster* each round
+  EXPECT_THROW(Rig rig(params), deep::util::UsageError);
+  params = {};
+  params.max_retries = -1;
+  EXPECT_THROW(Rig rig(params), deep::util::UsageError);
+  params = {};
+  params.retry_timeout = ds::Duration{0};
+  EXPECT_THROW(Rig rig(params), deep::util::UsageError);
+}
+
+TEST(BridgeRetry, ExhaustedRetriesSurfaceAsMpiErrorNotHang) {
+  // End to end: a rank whose message dies on a dead gateway gets an
+  // MpiError from wait(), and the simulation drains in bounded virtual
+  // time -- it must never hang waiting for a frame that will not come.
+  dc::BridgeParams bp;
+  bp.retry_timeout = ds::from_micros(5);
+  bp.max_retries = 2;
+  bp.policy = dc::GatewayPolicy::Pinned;  // no second gateway anyway
+  deep::testing::BridgedMpiRig rig(1, 1, 1, dc::GatewayPolicy::Pinned, {},
+                                   bp);
+
+  bool send_side_done = false;
+  bool recv_error = false;
+  rig.launch([&](deep::mpi::Mpi& mpi) {
+    const auto& world = mpi.world();
+    if (world.rank() == 0) {
+      const std::int32_t v = 42;
+      auto r = mpi.isend(world, 1, 7, std::span<const std::int32_t>(&v, 1));
+      mpi.wait(r);  // eager send: completes locally even if the wire eats it
+      send_side_done = true;
+    } else {
+      std::int32_t v = 0;
+      auto r = mpi.irecv(world, 0, 7, std::span<std::int32_t>(&v, 1));
+      try {
+        mpi.wait(r);
+      } catch (const deep::mpi::MpiError& e) {
+        recv_error = true;
+        EXPECT_EQ(e.code(), deep::mpi::ErrCode::MessageLost);
+      }
+    }
+  });
+  // Kill the single gateway (node 2) after the send is injected (~150 ns)
+  // but before the frame arrives there (IB latency is 1.5 us).
+  rig.engine().schedule_at(ds::TimePoint{500'000}, [&] {
+    rig.bridge().set_gateway_up(2, false);
+  });
+
+  // Watchdog: the whole episode must drain well inside a second of virtual
+  // time.  run_until returning false means the event queue emptied.
+  EXPECT_FALSE(rig.engine().run_until(ds::TimePoint{ds::from_seconds(1).ps}));
+  EXPECT_TRUE(send_side_done);
+  EXPECT_TRUE(recv_error) << "loss never surfaced as an MpiError";
+  EXPECT_GT(rig.bridge().frames_lost(), 0);
+  EXPECT_GT(rig.system().messages_lost(), 0);
+}
+
+// A rank that exits with a receive still posted (e.g. after bailing out on
+// an MpiError) must not leave the endpoint pointing into its freed stack: a
+// message arriving after the exit lands in the endpoint-owned unexpected
+// queue instead of being copied into the dead buffer.
+TEST(BridgeRetry, LateArrivalAfterReceiverExitIsSafe) {
+  deep::testing::BridgedMpiRig rig(1, 1, 1);
+  rig.run([](deep::mpi::Mpi& mpi) {
+    if (mpi.world().rank() == 1) {
+      // Post and exit immediately: the buffer dies with this frame.
+      std::vector<std::byte> buf(64);
+      mpi.irecv_bytes(mpi.world(), 0, 9, std::span<std::byte>(buf));
+      return;
+    }
+    std::vector<std::byte> data(64, std::byte{7});
+    mpi.send_bytes(mpi.world(), 1, 9, std::span<const std::byte>(data));
+  });
+  // Rank 1 exited at t=0; the message crossed the bridge afterwards and
+  // parked in its endpoint's unexpected queue (EpIds are 1-based: rank 1
+  // is endpoint 2).
+  EXPECT_EQ(rig.system().endpoint(2).unexpected_count(), 1u);
 }

@@ -222,16 +222,23 @@ TEST(Failover, TrafficMovesToSurvivingGateway) {
   });
 }
 
-TEST(Failover, AllGatewaysDownThrows) {
+TEST(Failover, AllGatewaysDownRetriesThenReportsLoss) {
+  // With every gateway down, a cross-fabric send cannot even start: the
+  // frame enters the retry path, burns its bounded budget waiting for a
+  // heal, and is then reported lost to the MPI layer -- not thrown, and
+  // never a hang.
   BridgedMpiRig rig(1, 1, 1);
-  EXPECT_THROW(rig.run([&](dm::Mpi& mpi) {
-                 if (mpi.rank() == 0) {
-                   rig.bridge().set_gateway_up(2, false);
-                   std::vector<std::byte> buf(8);
-                   mpi.send_bytes(mpi.world(), 1, 0, buf);
-                 }
-               }),
-               deep::util::UsageError);
+  rig.run([&](dm::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      rig.bridge().set_gateway_up(2, false);
+      std::vector<std::byte> buf(8);
+      mpi.send_bytes(mpi.world(), 1, 0, buf);  // eager: completes locally
+    }
+  });
+  EXPECT_EQ(rig.bridge().frames_lost(), 1);
+  EXPECT_EQ(rig.bridge().total_retries(),
+            rig.bridge().params().max_retries);
+  EXPECT_EQ(rig.system().messages_lost(), 1);
 }
 
 TEST(Failover, UnknownGatewayRejected) {

@@ -139,7 +139,7 @@ class BridgedMpiRig {
  public:
   BridgedMpiRig(int cluster_ranks, int booster_ranks, int gateways,
                 cbp::GatewayPolicy policy = cbp::GatewayPolicy::ByPair,
-                mpi::MpiParams params = {})
+                mpi::MpiParams params = {}, cbp::BridgeParams bridge_params = {})
       : ib_(engine_, "ib", {}),
         extoll_(engine_, "extoll",
                 [] {
@@ -149,9 +149,8 @@ class BridgedMpiRig {
                 }()),
         bridge_(engine_, ib_, extoll_,
                 [&] {
-                  cbp::BridgeParams bp;
-                  bp.policy = policy;
-                  return bp;
+                  bridge_params.policy = policy;
+                  return bridge_params;
                 }()),
         system_(engine_, bridge_, params) {
     std::vector<hw::NodeId> node_ids;
@@ -183,8 +182,17 @@ class BridgedMpiRig {
   sim::Engine& engine() { return engine_; }
   mpi::MpiSystem& system() { return system_; }
   cbp::BridgedTransport& bridge() { return bridge_; }
+  net::CrossbarFabric& ib() { return ib_; }
+  net::TorusFabric& extoll() { return extoll_; }
 
   void run(const std::function<void(mpi::Mpi&)>& fn) {
+    launch(fn);
+    engine_.run();
+  }
+
+  /// Launches without running (for tests that arm fault plans or drive the
+  /// engine manually).
+  void launch(const std::function<void(mpi::Mpi&)>& fn) {
     const int n = world_.group->size();
     for (int r = 0; r < n; ++r) {
       engine_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
@@ -199,7 +207,6 @@ class BridgedMpiRig {
         fn(mpi);
       });
     }
-    engine_.run();
   }
 
  private:

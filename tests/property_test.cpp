@@ -12,12 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "hw/energy.hpp"
 #include "mpi_rig.hpp"
+#include "net/fault.hpp"
 #include "net/torus.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace dh = deep::hw;
@@ -207,6 +211,71 @@ TEST_P(RandomScriptSweep, ExactlyOnceAndDeterministic) {
 INSTANTIATE_TEST_SUITE_P(Scripts, RandomScriptSweep,
                          ::testing::Combine(::testing::Values(2, 4, 7),
                                             ::testing::Values(1u, 42u, 777u)));
+
+// ---------------------------------------------------------------------------
+// Fault injection: an inactive plan is a perfect no-op
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs a fixed cross-fabric workload on a bridged rig and returns its full
+/// Chrome trace.  With `with_noop_plan`, a FaultPlan built from a
+/// default-constructed FaultSpec (empty schedules, zero drop probability) is
+/// attached and armed first -- it must change nothing.
+std::string bridged_trace(bool with_noop_plan) {
+  deep::testing::BridgedMpiRig rig(2, 2, 1);
+  ds::Tracer tracer;
+  rig.engine().set_tracer(&tracer);
+
+  std::unique_ptr<dn::FaultPlan> plan;
+  if (with_noop_plan) {
+    dn::FaultSpec spec;  // inactive: nothing scheduled, drop probability 0
+    EXPECT_FALSE(spec.active());
+    plan = std::make_unique<dn::FaultPlan>(rig.engine(), spec);
+    plan->attach(rig.ib());
+    plan->attach(rig.extoll());
+    plan->set_gateway_control([&rig](dh::NodeId gw, bool up) {
+      rig.bridge().set_gateway_up(gw, up);
+    });
+    plan->arm();
+  }
+
+  rig.run([](dm::Mpi& mpi) {
+    const int n = mpi.world().size();
+    // Cross-side ring + a collective: exercises both fabrics and the bridge.
+    std::vector<std::uint8_t> out(512, static_cast<std::uint8_t>(mpi.rank()));
+    std::vector<std::uint8_t> in(512);
+    const int next = (mpi.rank() + 1) % n;
+    const int prev = (mpi.rank() + n - 1) % n;
+    auto s = mpi.isend<std::uint8_t>(mpi.world(), next, 3,
+                                     std::span<const std::uint8_t>(out));
+    mpi.recv<std::uint8_t>(mpi.world(), prev, 3, std::span<std::uint8_t>(in));
+    mpi.wait(s);
+    EXPECT_EQ(in[0], static_cast<std::uint8_t>(prev));
+    int mine = mpi.rank(), sum = 0;
+    mpi.allreduce<int>(mpi.world(), dm::Op::Sum,
+                       std::span<const int>(&mine, 1), std::span<int>(&sum, 1));
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+  });
+
+  EXPECT_EQ(rig.ib().stats().messages_dropped, 0);
+  EXPECT_EQ(rig.extoll().stats().messages_dropped, 0);
+  if (plan) {
+    EXPECT_EQ(plan->injected_drops(), 0);
+  }
+  return tracer.to_chrome_json();
+}
+
+}  // namespace
+
+TEST(FaultPlanProperty, InactivePlanIsByteIdenticalNoOp) {
+  const std::string baseline = bridged_trace(false);
+  const std::string with_plan = bridged_trace(true);
+  ASSERT_FALSE(baseline.empty());
+  // Pay-for-what-you-use: arming an empty plan must not perturb the event
+  // schedule by a single byte.
+  EXPECT_EQ(baseline, with_plan);
+}
 
 // ---------------------------------------------------------------------------
 // Energy accounting properties
