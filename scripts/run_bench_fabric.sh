@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Runs the message hot-path benchmarks (torus/crossbar fabric send+deliver,
+# CBP gateway bridging, MPI eager streaming — bench/bench_fabric.cpp) plus a
+# bench_application wall-clock timing, and records results/BENCH_fabric.json
+# so successive PRs have a perf trajectory to compare against.
+#
+# The JSON layout is:
+#   {
+#     "baseline_any_header": { ...google-benchmark json... },  # frozen
+#     "current": {
+#       "fabric":                { ...google-benchmark json... },  # updated
+#       "bench_application_ms":  <wall-clock milliseconds>
+#     }
+#   }
+# "baseline_any_header" is the pre-pooling snapshot (std::any headers,
+# per-message route computation, shared_ptr payloads) and is preserved
+# across runs; "current" is replaced each time.  See docs/perf.md for how
+# to read the numbers.
+#
+# Usage: scripts/run_bench_fabric.sh [output.json]
+#   BUILD_DIR=...    build tree to use            (default: <repo>/build)
+#   BENCH_FILTER=... benchmark regex              (default: all fabric benches)
+#   BENCH_REPS=N     google-benchmark repetitions (default: 1)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/results/BENCH_fabric.json}"
+FILTER="${BENCH_FILTER:-.}"
+
+if [ ! -x "$BUILD/bench/bench_fabric" ] || [ ! -x "$BUILD/bench/bench_application" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j --target bench_fabric bench_application
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD/bench/bench_fabric" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$TMP" --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}"
+
+# bench_application wall-clock: the end-to-end "does the optimisation show up
+# in a real workload" number (median of three runs).
+APP_MS=$(
+  for _ in 1 2 3; do
+    s=$(date +%s%N)
+    "$BUILD/bench/bench_application" > /dev/null
+    e=$(date +%s%N)
+    echo $(((e - s) / 1000000))
+  done | sort -n | sed -n 2p
+)
+echo "bench_application wall-clock: ${APP_MS} ms (median of 3)"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TMP" "$OUT" "$APP_MS" <<'EOF'
+import json, sys
+
+current_path, out_path, app_ms = sys.argv[1], sys.argv[2], int(sys.argv[3])
+with open(current_path) as f:
+    fabric = json.load(f)
+
+merged = {}
+try:
+    with open(out_path) as f:
+        merged = json.load(f)
+except (OSError, ValueError):
+    pass
+
+merged["current"] = {"fabric": fabric, "bench_application_ms": app_ms}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+
+base = merged.get("baseline_any_header", {}).get("fabric", {})
+by_name = {b["name"]: b for b in base.get("benchmarks", [])}
+for b in fabric.get("benchmarks", []):
+    ref = by_name.get(b["name"])
+    if ref and ref.get("items_per_second"):
+        ratio = b["items_per_second"] / ref["items_per_second"]
+        print(f'  {b["name"]}: {b["items_per_second"]/1e6:.2f} M items/s '
+              f'({ratio:.2f}x baseline)')
+EOF
+else
+  # No python3: fall back to the raw google-benchmark document.
+  cp "$TMP" "$OUT"
+fi
+
+echo "wrote $OUT"

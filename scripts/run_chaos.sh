@@ -3,7 +3,9 @@
 # scenarios) under AddressSanitizer.  The suite itself sweeps 32 seeds per
 # workload and replays each seed twice, asserting bit-identical event traces;
 # ASan additionally checks that the retry/loss paths never touch freed
-# frames or leak them.
+# frames or leak them.  The perf suite (pool invariants, route-table
+# equivalence, zero-allocation checks — label: perf) rides along so the
+# pooled hot path is sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -15,9 +17,10 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos_test in $BUILD =="
-cmake --build "$BUILD" --target chaos_test -j "$(nproc)"
+echo "== building chaos_test + netperf_test in $BUILD =="
+cmake --build "$BUILD" --target chaos_test netperf_test -j "$(nproc)"
 
-echo "== running chaos suite (label: chaos) =="
-ctest --test-dir "$BUILD" -L chaos --output-on-failure "$@"
+echo "== running chaos + perf suites (labels: chaos, perf) =="
+ctest --test-dir "$BUILD" -L 'chaos|perf' -E bench_fabric_smoke \
+  --output-on-failure "$@"
 echo "chaos suite passed: 32-seed sweeps replayed bit-identically"

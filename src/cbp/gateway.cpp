@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "net/pool.hpp"
+
 namespace deep::cbp {
+
+namespace {
+
+// Reconstructs the bridged message from its flattened frame (net::CbpFrame
+// keeps the inner metadata as plain fields so it can live in the header
+// variant; the payload rides on the wrapped carrier).
+net::Message unwrap_frame(net::Message&& wrapped, const net::CbpFrame& frame) {
+  net::Message inner;
+  inner.src = frame.inner_src;
+  inner.dst = frame.inner_dst;
+  inner.port = frame.inner_port;
+  inner.size_bytes = frame.inner_size_bytes;
+  if (frame.inner_has_wire) inner.header = frame.inner_wire;
+  inner.payload = std::move(wrapped.payload);
+  return inner;
+}
+
+}  // namespace
 
 BridgedTransport::BridgedTransport(sim::Engine& engine,
                                    net::Fabric& cluster_fabric,
@@ -200,11 +220,11 @@ void BridgedTransport::on_fabric_drop(net::Message&& msg) {
 }
 
 void BridgedTransport::retry_frame(net::Message&& wrapped) {
-  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  auto* frame = net::cbp_frame(wrapped);
   DEEP_EXPECT(frame != nullptr, "CBP: malformed frame in retry path");
   if (frame->attempts >= params_.max_retries) {
     ++frames_lost_;
-    report_loss(std::move(frame->inner));
+    report_loss(unwrap_frame(std::move(wrapped), *frame));
     return;
   }
   frame->attempts += 1;
@@ -214,15 +234,16 @@ void BridgedTransport::retry_frame(net::Message&& wrapped) {
   const double scale = std::pow(params_.backoff_factor, frame->attempts - 1);
   const sim::Duration delay{static_cast<std::int64_t>(
       static_cast<double>(params_.retry_timeout.ps) * scale)};
-  engine_->schedule_in(delay, [this, w = std::move(wrapped)]() mutable {
-    resend_frame(std::move(w));
-  });
+  engine_->schedule_in(delay,
+                       [this, w = net::PooledMessage(std::move(wrapped))]() mutable {
+                         resend_frame(w.take());
+                       });
 }
 
 void BridgedTransport::resend_frame(net::Message&& wrapped) {
-  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  auto* frame = net::cbp_frame(wrapped);
   DEEP_EXPECT(frame != nullptr, "CBP: malformed frame in retry path");
-  GatewayState* gw = pick_gateway_for_retry(wrapped.src, frame->inner.dst);
+  GatewayState* gw = pick_gateway_for_retry(wrapped.src, frame->inner_dst);
   if (gw == nullptr) {
     // No gateway can take the frame right now: burn one attempt and back off
     // again.  The retry budget bounds this loop, so a permanently dead
@@ -283,22 +304,37 @@ void BridgedTransport::send(net::Message msg, net::Service svc) {
   // Cross-fabric: wrap and route through a gateway on the source side.
   DEEP_EXPECT(!gateways_.empty(),
               "BridgedTransport: cross-fabric send with no gateways");
+  // Flatten the inner message into the frame (metadata + wire header as
+  // plain fields); its payload rides on the wrapped carrier directly.
   net::Message wrapped;
   wrapped.src = msg.src;
   wrapped.port = net::Port::Cbp;
   wrapped.size_bytes = msg.size_bytes + params_.frame_header_bytes;
+  net::CbpFrame frame;
+  frame.inner_src = msg.src;
+  frame.inner_dst = msg.dst;
+  frame.inner_port = msg.port;
+  frame.inner_size_bytes = msg.size_bytes;
+  if (const auto* wh = net::wire_header(msg)) {
+    frame.inner_has_wire = true;
+    frame.inner_wire = *wh;
+  }
+  frame.svc = svc;
+  frame.attempts = 0;
+  wrapped.payload = std::move(msg.payload);
   if (num_gateways_up() == 0) {
     // Every gateway is down right now: the frame cannot even start its
     // crossing.  It enters the retry path and waits for a heal; the bounded
     // budget turns a permanent outage into a reported loss, not a hang.
-    wrapped.header =
-        CbpFrame{std::move(msg), svc, /*attempts=*/0, hw::kInvalidNode};
+    frame.last_gateway = hw::kInvalidNode;
+    wrapped.header = frame;
     retry_frame(std::move(wrapped));
     return;
   }
   GatewayState& gw = pick_gateway(msg.src, msg.dst);
   wrapped.dst = gw.node;
-  wrapped.header = CbpFrame{std::move(msg), svc, /*attempts=*/0, gw.node};
+  frame.last_gateway = gw.node;
+  wrapped.header = frame;
   fabric_for_side(src_side == Side::Cluster).send(std::move(wrapped), svc);
 }
 
@@ -310,10 +346,10 @@ void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
     retry_frame(std::move(wrapped));
     return;
   }
-  auto* frame = std::any_cast<CbpFrame>(&wrapped.header);
+  auto* frame = net::cbp_frame(wrapped);
   DEEP_EXPECT(frame != nullptr, "CBP: malformed frame at gateway");
-  net::Message inner = std::move(frame->inner);
   const net::Service svc = frame->svc;
+  net::Message inner = unwrap_frame(std::move(wrapped), *frame);
 
   // SMFU processing: store-and-forward latency + per-byte cost, serialised
   // per gateway.
@@ -333,12 +369,15 @@ void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
   // Re-injected with the gateway as the wire-level source so the fabric
   // books contention on the gateway's links; the logical (MPI) source lives
   // in the protocol header.
+  // Pooled slot keeps the capture at 24 bytes — inline in the event queue.
   const hw::NodeId gw_node = gw.node;
-  engine_->schedule_at(done, [&out, gw_node, inner = std::move(inner),
-                              svc]() mutable {
-    inner.src = gw_node;
-    out.send(std::move(inner), svc);
-  });
+  engine_->schedule_at(
+      done, [&out, gw_node, m = net::PooledMessage(std::move(inner)),
+             svc]() mutable {
+        net::Message inner = m.take();
+        inner.src = gw_node;
+        out.send(std::move(inner), svc);
+      });
 }
 
 }  // namespace deep::cbp

@@ -111,13 +111,6 @@ class BridgedTransport final : public Transport {
     bool up = true;
   };
 
-  struct CbpFrame {
-    net::Message inner;
-    net::Service svc;
-    int attempts = 0;  // completed wire attempts (0 on the first send)
-    hw::NodeId last_gateway = hw::kInvalidNode;
-  };
-
   Side side_of(hw::NodeId node) const;
   GatewayState& pick_gateway(hw::NodeId src, hw::NodeId dst);
   /// Retry-path selection: may return a down gateway (Pinned) or nullptr

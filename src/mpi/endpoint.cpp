@@ -10,8 +10,15 @@ namespace deep::mpi {
 
 namespace {
 
+// Hot-path payload copy into a recycled pool buffer (net/pool.hpp).
 net::Payload copy_to_payload(std::span<const std::byte> bytes) {
-  return net::make_payload(std::vector<std::byte>(bytes.begin(), bytes.end()));
+  return net::copy_payload(bytes);
+}
+
+// Requests churn once per point-to-point operation; the pooled allocator
+// recycles the combined control-block+object allocation.
+RequestPtr make_request() {
+  return std::allocate_shared<Request>(net::PoolAllocator<Request>{});
 }
 
 }  // namespace
@@ -24,7 +31,7 @@ std::uint64_t Endpoint::next_seq_to(EpId dst) { return seq_out_[dst]++; }
 RequestPtr Endpoint::start_send(const EpAddr& dst, ContextId context,
                                 Rank src_rank, Tag tag,
                                 std::span<const std::byte> bytes) {
-  auto request = std::make_shared<Request>();
+  auto request = make_request();
   request->waiter = owner_;
   request->op = "isend";
   request->tag = tag;
@@ -71,7 +78,7 @@ RequestPtr Endpoint::start_send(const EpAddr& dst, ContextId context,
 
 RequestPtr Endpoint::post_recv(ContextId context, Rank src, Tag tag,
                                std::span<std::byte> buffer) {
-  auto request = std::make_shared<Request>();
+  auto request = make_request();
   request->waiter = owner_;
   request->op = "irecv";
   request->peer = src;
@@ -172,7 +179,7 @@ std::span<std::byte> Endpoint::window_slice(std::uint64_t win,
 RequestPtr Endpoint::start_put(const EpAddr& dst, std::uint64_t win,
                                std::int64_t offset,
                                std::span<const std::byte> data) {
-  auto request = std::make_shared<Request>();
+  auto request = make_request();
   request->waiter = owner_;
   request->op = "put";
   const auto& p = system_->params();
@@ -207,7 +214,7 @@ RequestPtr Endpoint::start_accumulate(const EpAddr& dst, std::uint64_t win,
                                       std::int64_t offset,
                                       std::span<const std::byte> data, Op op,
                                       std::uint8_t dtype) {
-  auto request = std::make_shared<Request>();
+  auto request = make_request();
   request->waiter = owner_;
   request->op = "accumulate";
   const auto& p = system_->params();
@@ -292,7 +299,7 @@ void Endpoint::handle_accum(const WireHeader& header,
 
 RequestPtr Endpoint::start_get(const EpAddr& dst, std::uint64_t win,
                                std::int64_t offset, std::span<std::byte> dest) {
-  auto request = std::make_shared<Request>();
+  auto request = make_request();
   request->waiter = owner_;
   request->op = "get";
   const auto& p = system_->params();
@@ -401,7 +408,7 @@ void Endpoint::handle_get_resp(const WireHeader& header,
 }
 
 void Endpoint::on_message(net::Message&& msg) {
-  auto* header = std::any_cast<WireHeader>(&msg.header);
+  auto* header = net::wire_header(msg);
   DEEP_EXPECT(header != nullptr, "Endpoint: malformed MPI wire message");
   DEEP_ASSERT(header->dst_ep == id_, "Endpoint: misrouted message");
 

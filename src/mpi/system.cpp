@@ -29,7 +29,7 @@ Endpoint& MpiSystem::create_endpoint(hw::NodeId node) {
     // Demux arriving MPI messages to the right endpoint on this node.
     transport_->home_nic(node).bind(
         net::Port::Mpi, [this](net::Message&& msg) {
-          auto* header = std::any_cast<WireHeader>(&msg.header);
+          auto* header = net::wire_header(msg);
           DEEP_EXPECT(header != nullptr, "MpiSystem: malformed MPI message");
           endpoint(header->dst_ep).on_message(std::move(msg));
         });
@@ -54,7 +54,7 @@ void MpiSystem::route(net::Message msg, net::Service svc) {
 }
 
 void MpiSystem::handle_loss(net::Message&& msg) {
-  auto* h = std::any_cast<WireHeader>(&msg.header);
+  auto* h = net::wire_header(msg);
   if (h == nullptr) return;  // not an MPI protocol message
   ++messages_lost_;
 

@@ -1,0 +1,74 @@
+#pragma once
+// Wire-level protocol types of the simulated Global MPI: the header struct
+// every MPI message carries and the scalar ids it is built from.
+//
+// Kept in a header of its own (no sim/engine dependencies) so the network
+// layer can embed WireHeader *in place* inside net::Message's header variant
+// (net/message.hpp) — the zero-allocation hot path depends on the closed set
+// of protocol headers being complete types below the net layer.
+
+#include <cstdint>
+
+#include "hw/spec.hpp"
+
+namespace deep::mpi {
+
+using Rank = int;
+using Tag = int;
+using EpId = std::uint64_t;
+using ContextId = std::uint64_t;
+
+/// Wildcards for recv matching (like MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Reduction operators for typed collectives and one-sided Accumulate.
+enum class Op { Sum, Prod, Min, Max };
+
+template <typename T>
+T apply_op(Op op, T a, T b) {
+  switch (op) {
+    case Op::Sum:
+      return a + b;
+    case Op::Prod:
+      return a * b;
+    case Op::Min:
+      return a < b ? a : b;
+    case Op::Max:
+      return a > b ? a : b;
+  }
+  return a;
+}
+
+/// Message kinds on the wire (eager/rendezvous protocol of ParaStation MPI,
+/// plus the one-sided operations of the EXTOLL RMA engine).
+enum class MsgKind : std::uint8_t {
+  Eager,    // header + data in one message (small payloads; VELO path)
+  Rts,      // rendezvous request-to-send (control; VELO path)
+  Cts,      // rendezvous clear-to-send (control; VELO path)
+  RData,    // rendezvous bulk data (RMA path)
+  Put,      // one-sided write into a window (RMA path)
+  Accum,    // one-sided element-wise reduction into a window (RMA path)
+  PutAck,   // remote completion of a Put (control)
+  GetReq,   // one-sided read request (control)
+  GetResp,  // one-sided read response carrying the data (RMA path)
+};
+
+/// The protocol header carried by every MPI wire message.
+struct WireHeader {
+  MsgKind kind = MsgKind::Eager;
+  ContextId context = 0;
+  Rank src_rank = kAnySource;  // sender's rank within `context`'s group
+  Tag tag = kAnyTag;
+  std::int64_t bytes = 0;  // logical payload size
+  EpId src_ep = 0;
+  EpId dst_ep = 0;
+  std::uint64_t op = 0;   // rendezvous / one-sided operation id
+  std::uint64_t seq = 0;  // per (src_ep,dst_ep) flow sequence number
+  std::uint64_t window = 0;      // one-sided: target window id
+  std::int64_t offset = 0;       // one-sided: byte offset in the window
+  Op accum_op = Op::Sum;         // Accum: reduction operator
+  std::uint8_t accum_dtype = 0;  // Accum: 0 = double, 1 = int64
+};
+
+}  // namespace deep::mpi

@@ -149,9 +149,14 @@ class Fabric {
                        " " + std::to_string(msg.size_bytes) + "B",
                    engine_->now(), at, "net");
     }
+    // Park the message in a pooled slot: the capture is {Nic*, PooledMessage}
+    // (16 bytes), so the event fits the engine's inline buffer and the whole
+    // schedule-deliver round trip allocates nothing in steady state.
     auto* nic = nics_.at(msg.dst).get();
-    engine_->schedule_at(
-        at, [nic, m = std::move(msg)]() mutable { nic->deliver(std::move(m)); });
+    engine_->schedule_at(at,
+                         [nic, m = PooledMessage(std::move(msg))]() mutable {
+                           nic->deliver(m.take());
+                         });
   }
 
   sim::Engine* engine_;

@@ -6,13 +6,19 @@
 // above (MPI, OmpSs offload) are functionally correct, and `header` carries
 // an in-simulator protocol struct (the simulator's honest shortcut for
 // header serialisation).
+//
+// The header is a tagged in-place variant over the *closed* set of protocol
+// headers the simulator speaks — MPI wire headers and CBP gateway frames —
+// rather than type-erased std::any: no per-message heap allocation, no RTTI
+// on the demux path, and the compiler sees every alternative (docs/perf.md).
 
-#include <any>
 #include <cstdint>
-#include <memory>
+#include <variant>
 #include <vector>
 
 #include "hw/spec.hpp"
+#include "mpi/wire.hpp"
+#include "net/pool.hpp"
 
 namespace deep::net {
 
@@ -21,21 +27,6 @@ enum class Port : std::uint16_t {
   Mpi = 1,   // ParaStation-MPI transport
   Cbp = 2,   // Cluster-Booster Protocol (gateway bridging)
   Raw = 15,  // microbenchmarks / tests
-};
-
-using Payload = std::shared_ptr<const std::vector<std::byte>>;
-
-inline Payload make_payload(std::vector<std::byte> bytes) {
-  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
-}
-
-struct Message {
-  hw::NodeId src = hw::kInvalidNode;
-  hw::NodeId dst = hw::kInvalidNode;
-  Port port = Port::Raw;
-  std::int64_t size_bytes = 0;  // modelled wire size
-  std::any header;              // protocol-defined metadata
-  Payload payload;              // optional real data bytes
 };
 
 /// Service class a sender requests from a fabric.  On EXTOLL these map to
@@ -47,5 +38,50 @@ enum class Service {
   Control,  // tiny protocol messages (RTS/CTS): ride a priority virtual
             // channel and do not queue behind bulk traffic
 };
+
+/// Cluster-Booster Protocol frame: the gateway-bridging envelope around a
+/// message crossing fabrics.  Deliberately *flattened* — it records the
+/// inner message's addressing/metadata (and its wire header, if any) as
+/// plain fields instead of nesting a whole net::Message, so the frame can
+/// live in place inside the header variant below; the inner payload rides
+/// on the wrapped message itself.  The bridge reconstructs the inner
+/// Message on the far side (cbp/gateway.cpp).
+struct CbpFrame {
+  hw::NodeId inner_src = hw::kInvalidNode;
+  hw::NodeId inner_dst = hw::kInvalidNode;
+  Port inner_port = Port::Raw;
+  std::int64_t inner_size_bytes = 0;
+  bool inner_has_wire = false;     // inner message carried a WireHeader
+  mpi::WireHeader inner_wire{};    // valid iff inner_has_wire
+  Service svc = Service::Small;    // service class to re-inject with
+  int attempts = 0;                // delivery attempts so far (retry cap)
+  hw::NodeId last_gateway = hw::kInvalidNode;  // gateway to avoid on retry
+};
+
+/// The closed set of protocol headers a Message can carry in place.
+using Header = std::variant<std::monostate, mpi::WireHeader, CbpFrame>;
+
+struct Message {
+  hw::NodeId src = hw::kInvalidNode;
+  hw::NodeId dst = hw::kInvalidNode;
+  Port port = Port::Raw;
+  std::int64_t size_bytes = 0;  // modelled wire size
+  Header header;                // protocol-defined metadata, in place
+  Payload payload;              // optional real data bytes (pooled)
+};
+
+/// Typed header access; nullptr when the message carries something else.
+inline mpi::WireHeader* wire_header(Message& m) {
+  return std::get_if<mpi::WireHeader>(&m.header);
+}
+inline const mpi::WireHeader* wire_header(const Message& m) {
+  return std::get_if<mpi::WireHeader>(&m.header);
+}
+inline CbpFrame* cbp_frame(Message& m) {
+  return std::get_if<CbpFrame>(&m.header);
+}
+inline const CbpFrame* cbp_frame(const Message& m) {
+  return std::get_if<CbpFrame>(&m.header);
+}
 
 }  // namespace deep::net

@@ -1,0 +1,75 @@
+#include "net/pool.hpp"
+
+#include "net/message.hpp"
+
+namespace deep::net {
+
+// The pools are intentionally leaked (never-destroyed heap singletons):
+// pooled Message slots hold Payloads, so tearing the pools down in static
+// destruction order would have one pool's destructor call into the other's
+// already-destroyed instance.  LeakSanitizer treats memory reachable from a
+// static as "still reachable", not a leak.
+
+BufferPool& BufferPool::instance() {
+  static auto* pool = new BufferPool();
+  return *pool;
+}
+
+detail::Buffer* BufferPool::acquire(std::size_t size) {
+  detail::Buffer* buf;
+  if (free_head_ != nullptr) {
+    buf = free_head_;
+    free_head_ = buf->next_free;
+    buf->next_free = nullptr;
+    --free_count_;
+  } else {
+    all_.push_back(std::make_unique<detail::Buffer>());
+    buf = all_.back().get();
+  }
+  buf->bytes.resize(size);  // shrinking keeps capacity; growing is the only
+                            // allocation a warm pool ever performs
+  buf->refs = 1;
+  return buf;
+}
+
+void BufferPool::release(detail::Buffer* buffer) {
+  if (--buffer->refs > 0) return;
+  buffer->next_free = free_head_;
+  free_head_ = buffer;
+  ++free_count_;
+}
+
+MessagePool& MessagePool::instance() {
+  static auto* pool = new MessagePool();
+  return *pool;
+}
+
+Message* MessagePool::acquire() {
+  if (!free_.empty()) {
+    Message* slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  all_.push_back(std::make_unique<Message>());
+  return all_.back().get();
+}
+
+void MessagePool::release(Message* slot) {
+  slot->header.emplace<std::monostate>();
+  slot->payload.reset();  // return the buffer now, not at next reuse
+  free_.push_back(slot);
+}
+
+PooledMessage::PooledMessage(Message&& msg)
+    : slot_(MessagePool::instance().acquire()) {
+  *slot_ = std::move(msg);
+}
+
+void PooledMessage::reset() {
+  if (slot_ != nullptr) {
+    MessagePool::instance().release(slot_);
+    slot_ = nullptr;
+  }
+}
+
+}  // namespace deep::net

@@ -1,0 +1,234 @@
+#pragma once
+// Slab-style pooling for the per-message hot path (docs/perf.md).
+//
+// Three cooperating pieces, all free-list based and all process-wide (the
+// simulation is strictly single-threaded, so no locking anywhere):
+//
+//  * BufferPool + Payload — reference-counted, pool-backed payload bytes.
+//    Payload replaces the old shared_ptr<const vector<byte>>: same call-site
+//    surface (operator*, operator->, bool), but the buffer node and its byte
+//    storage are recycled through a free list, so steady-state traffic
+//    performs no payload allocations at all.  copy_payload() is the hot-path
+//    entry (memcpy into a recycled buffer); make_payload() adopts an
+//    existing vector (convenience for tests and cold paths).
+//
+//  * MessagePool + PooledMessage — a free list of net::Message slots used to
+//    carry messages through scheduled events.  A Message is too large for
+//    the engine's 48-byte inline EventFn buffer; parking it in a pooled slot
+//    and capturing the 8-byte owner keeps event capture allocation-free.
+//    PooledMessage is the RAII owner: releasing on destruction makes engine
+//    teardown with undelivered events leak-free.
+//
+//  * PoolAllocator<T> — a rebindable free-list allocator for
+//    std::allocate_shared and friends, used by the MPI layer to recycle
+//    Request control blocks.
+//
+// Invariants (tested in tests/netperf_test.cpp):
+//  * a released buffer/slot is reused before any new one is allocated;
+//  * releasing resets payload references so pooled slots never pin buffers;
+//  * pools only grow to the high-water mark of in-flight objects.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace deep::net {
+
+struct Message;
+
+namespace detail {
+
+/// One pooled payload buffer: bytes + intrusive refcount + free-list link.
+struct Buffer {
+  std::vector<std::byte> bytes;
+  std::int32_t refs = 0;
+  Buffer* next_free = nullptr;
+};
+
+}  // namespace detail
+
+/// Free-list pool of payload buffers.  Buffers keep their byte capacity
+/// across reuse, so a steady-state message mix stops allocating once the
+/// working set has been seen once.
+class BufferPool {
+ public:
+  static BufferPool& instance();
+
+  /// A buffer with refs == 1 and bytes.size() == size (capacity reused).
+  detail::Buffer* acquire(std::size_t size);
+  void release(detail::Buffer* buffer);
+
+  /// Introspection for tests.
+  std::size_t total_buffers() const { return all_.size(); }
+  std::size_t free_buffers() const { return free_count_; }
+
+ private:
+  std::vector<std::unique_ptr<detail::Buffer>> all_;  // owns every node
+  detail::Buffer* free_head_ = nullptr;
+  std::size_t free_count_ = 0;
+};
+
+/// Reference-counted handle to a pooled, immutable payload buffer.  Mirrors
+/// the pointer surface of the shared_ptr it replaced.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(const Payload& o) : buf_(o.buf_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  Payload(Payload&& o) noexcept : buf_(o.buf_) { o.buf_ = nullptr; }
+  Payload& operator=(const Payload& o) {
+    if (this != &o) {
+      reset();
+      buf_ = o.buf_;
+      if (buf_ != nullptr) ++buf_->refs;
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      reset();
+      buf_ = o.buf_;
+      o.buf_ = nullptr;
+    }
+    return *this;
+  }
+  ~Payload() { reset(); }
+
+  explicit operator bool() const { return buf_ != nullptr; }
+  const std::vector<std::byte>& operator*() const { return buf_->bytes; }
+  const std::vector<std::byte>* operator->() const { return &buf_->bytes; }
+
+  void reset() {
+    if (buf_ != nullptr) {
+      BufferPool::instance().release(buf_);
+      buf_ = nullptr;
+    }
+  }
+
+ private:
+  friend Payload make_payload(std::vector<std::byte> bytes);
+  friend Payload copy_payload(std::span<const std::byte> bytes);
+  explicit Payload(detail::Buffer* buf) : buf_(buf) {}
+
+  detail::Buffer* buf_ = nullptr;
+};
+
+/// Hot path: copies `bytes` into a recycled pool buffer (no allocation once
+/// the pool is warm).
+inline Payload copy_payload(std::span<const std::byte> bytes) {
+  detail::Buffer* buf = BufferPool::instance().acquire(bytes.size());
+  if (!bytes.empty())
+    std::memcpy(buf->bytes.data(), bytes.data(), bytes.size());
+  return Payload(buf);
+}
+
+/// Cold path: adopts an existing vector (its storage replaces the pooled
+/// buffer's).  Convenient for tests and one-off construction.
+inline Payload make_payload(std::vector<std::byte> bytes) {
+  detail::Buffer* buf = BufferPool::instance().acquire(0);
+  buf->bytes = std::move(bytes);
+  return Payload(buf);
+}
+
+/// Free list of Message slots for carrying messages through scheduled
+/// events; see PooledMessage.
+class MessagePool {
+ public:
+  static MessagePool& instance();
+
+  Message* acquire();
+  /// Clears the slot (header to monostate, payload dropped) and recycles it.
+  void release(Message* slot);
+
+  /// Introspection for tests.
+  std::size_t total_slots() const { return all_.size(); }
+  std::size_t free_slots() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Message>> all_;  // owns every slot
+  std::vector<Message*> free_;
+};
+
+/// Move-only owner of one pooled Message slot.  Construct from a Message to
+/// park it; take() moves it back out.  The slot returns to the pool when the
+/// owner dies — including when an engine tears down undelivered events.
+class PooledMessage {
+ public:
+  PooledMessage() = default;
+  explicit PooledMessage(Message&& msg);
+  PooledMessage(PooledMessage&& o) noexcept : slot_(o.slot_) {
+    o.slot_ = nullptr;
+  }
+  PooledMessage& operator=(PooledMessage&& o) noexcept {
+    if (this != &o) {
+      reset();
+      slot_ = o.slot_;
+      o.slot_ = nullptr;
+    }
+    return *this;
+  }
+  PooledMessage(const PooledMessage&) = delete;
+  PooledMessage& operator=(const PooledMessage&) = delete;
+  ~PooledMessage() { reset(); }
+
+  /// The parked message, moved out.  The slot stays owned (and is recycled
+  /// when this owner is destroyed).
+  Message&& take() { return static_cast<Message&&>(*slot_); }
+
+ private:
+  void reset();
+
+  Message* slot_ = nullptr;
+};
+
+/// Rebindable free-list allocator for single-object std::allocate_shared:
+/// the combined control-block+object allocation is recycled per type, so
+/// steady-state Request churn stops hitting the heap.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n != 1)
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    auto& fl = free_list();
+    if (!fl.empty()) {
+      void* p = fl.back();
+      fl.pop_back();
+      return static_cast<T*>(p);
+    }
+    return static_cast<T*>(::operator new(sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    free_list().push_back(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const {
+    return true;
+  }
+
+ private:
+  static std::vector<void*>& free_list() {
+    // Never destroyed: parked blocks must stay reachable through the list at
+    // exit, or leak checkers would (rightly) report them as lost.
+    static auto* fl = new std::vector<void*>();
+    return *fl;
+  }
+};
+
+}  // namespace deep::net

@@ -15,25 +15,27 @@ TorusFabric::TorusFabric(sim::Engine& engine, std::string name,
   DEEP_EXPECT(params_.packet_bytes > 0, "TorusFabric: packet size must be > 0");
   DEEP_EXPECT(params_.packet_error_rate >= 0.0 && params_.packet_error_rate < 1.0,
               "TorusFabric: packet error rate outside [0,1)");
+  capacity_ = params_.dims[0] * params_.dims[1] * params_.dims[2];
+  coord_at_.resize(capacity_);
+  for (int lin = 0; lin < capacity_; ++lin) {
+    coord_at_[lin].x = lin % params_.dims[0];
+    coord_at_[lin].y = (lin / params_.dims[0]) % params_.dims[1];
+    coord_at_[lin].z = lin / (params_.dims[0] * params_.dims[1]);
+  }
+  node_at_.assign(capacity_, hw::kInvalidNode);
+  // Default TimePoint{} is the epoch: max(now, epoch) == now, so an untouched
+  // slot behaves exactly like an absent entry in the old hash map.
+  link_free_.assign(static_cast<std::size_t>(capacity_) * kChannelsPerRouter,
+                    sim::TimePoint{});
 }
 
 int TorusFabric::linear(TorusCoord c) const {
   return (c.z * params_.dims[1] + c.y) * params_.dims[0] + c.x;
 }
 
-TorusFabric::LinkKey TorusFabric::pack(TorusCoord c, int channel) const {
-  return LinkKey{static_cast<std::int64_t>(linear(c)) * 16 + channel};
-}
-
 Nic& TorusFabric::attach(hw::NodeId node) {
-  const int capacity = params_.dims[0] * params_.dims[1] * params_.dims[2];
-  DEEP_EXPECT(next_linear_ < capacity, "TorusFabric::attach: torus is full");
-  const int lin = next_linear_++;
-  TorusCoord c;
-  c.x = lin % params_.dims[0];
-  c.y = (lin / params_.dims[0]) % params_.dims[1];
-  c.z = lin / (params_.dims[0] * params_.dims[1]);
-  return attach_at(node, c);
+  DEEP_EXPECT(next_linear_ < capacity_, "TorusFabric::attach: torus is full");
+  return attach_at(node, coord_at_[next_linear_++]);
 }
 
 Nic& TorusFabric::attach_at(hw::NodeId node, TorusCoord coord) {
@@ -41,18 +43,23 @@ Nic& TorusFabric::attach_at(hw::NodeId node, TorusCoord coord) {
                   coord.y < params_.dims[1] && coord.z >= 0 &&
                   coord.z < params_.dims[2],
               "TorusFabric::attach_at: coordinate outside torus");
-  DEEP_EXPECT(!by_linear_.contains(linear(coord)),
+  const int lin = linear(coord);
+  DEEP_EXPECT(node_at_[lin] == hw::kInvalidNode,
               "TorusFabric::attach_at: coordinate already occupied");
   Nic& nic = Fabric::attach(node);
-  coords_[node] = coord;
-  by_linear_[linear(coord)] = node;
+  node_at_[lin] = node;
+  linear_of_[node] = lin;
   return nic;
 }
 
-TorusCoord TorusFabric::coord_of(hw::NodeId node) const {
-  auto it = coords_.find(node);
-  DEEP_EXPECT(it != coords_.end(), "TorusFabric::coord_of: node not attached");
+int TorusFabric::linear_of(hw::NodeId node) const {
+  auto it = linear_of_.find(node);
+  DEEP_EXPECT(it != linear_of_.end(), "TorusFabric: node not attached");
   return it->second;
+}
+
+TorusCoord TorusFabric::coord_of(hw::NodeId node) const {
+  return coord_at_[linear_of(node)];
 }
 
 int TorusFabric::displacement(int from, int to, int dim) const {
@@ -76,10 +83,23 @@ int TorusFabric::hops(hw::NodeId src, hw::NodeId dst) const {
   return hops(coord_of(src), coord_of(dst));
 }
 
-std::vector<TorusFabric::LinkKey> TorusFabric::route(TorusCoord a,
-                                                     TorusCoord b) const {
-  std::vector<LinkKey> links;
-  TorusCoord cur = a;
+const TorusFabric::RouteEntry& TorusFabric::route_entry(int src_lin,
+                                                        int dst_lin) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(src_lin))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst_lin);
+  auto [it, inserted] = route_memo_.try_emplace(key);
+  if (!inserted) return it->second;
+
+  // Cold path: build the dimension-ordered route once, append its packed
+  // link indices to the shared arena.  The walk is the exact algorithm the
+  // per-message route() used before memoisation, so booked links (and
+  // therefore traces) are bit-identical.
+  RouteEntry& entry = it->second;
+  entry.first = static_cast<std::uint32_t>(route_links_.size());
+  TorusCoord cur = coord_at_[src_lin];
+  const TorusCoord b = coord_at_[dst_lin];
   const auto walk = [&](int dim) {
     int* cur_axis = dim == 0 ? &cur.x : dim == 1 ? &cur.y : &cur.z;
     const int target = dim == 0 ? b.x : dim == 1 ? b.y : b.z;
@@ -87,7 +107,7 @@ std::vector<TorusFabric::LinkKey> TorusFabric::route(TorusCoord a,
     const bool positive = d > 0;
     const int n = params_.dims[dim];
     while (d != 0) {
-      links.push_back(dim_link(cur, dim, positive));
+      route_links_.push_back(dim_link(linear(cur), dim, positive));
       *cur_axis = ((*cur_axis + (positive ? 1 : -1)) % n + n) % n;
       d += positive ? -1 : 1;
     }
@@ -95,34 +115,44 @@ std::vector<TorusFabric::LinkKey> TorusFabric::route(TorusCoord a,
   walk(0);
   walk(1);
   walk(2);
-  return links;
+  entry.count = static_cast<std::uint32_t>(route_links_.size()) - entry.first;
+  return entry;
+}
+
+std::vector<int> TorusFabric::route_linears(hw::NodeId src,
+                                            hw::NodeId dst) const {
+  const int src_lin = linear_of(src);
+  const int dst_lin = linear_of(dst);
+  const RouteEntry& entry = route_entry(src_lin, dst_lin);
+  std::vector<int> linears;
+  linears.reserve(entry.count + 1);
+  linears.push_back(src_lin);
+  // Each arena entry is packed from the router the hop *leaves*; the route's
+  // final router is the destination itself.
+  for (std::uint32_t i = entry.first + 1; i < entry.first + entry.count; ++i)
+    linears.push_back(static_cast<int>(route_links_[i] / kChannelsPerRouter));
+  if (entry.count > 0) linears.push_back(dst_lin);
+  return linears;
 }
 
 bool TorusFabric::route_up(hw::NodeId src, hw::NodeId dst) const {
-  TorusCoord cur = coord_of(src);
-  const TorusCoord b = coord_of(dst);
-  const auto node_at = [this](const TorusCoord& c) {
-    auto it = by_linear_.find(linear(c));
-    return it == by_linear_.end() ? hw::kInvalidNode : it->second;
-  };
-  const auto walk = [&](int dim) {
-    int* cur_axis = dim == 0 ? &cur.x : dim == 1 ? &cur.y : &cur.z;
-    const int target = dim == 0 ? b.x : dim == 1 ? b.y : b.z;
-    int d = displacement(*cur_axis, target, dim);
-    const bool positive = d > 0;
-    const int n = params_.dims[dim];
-    while (d != 0) {
-      const hw::NodeId from = node_at(cur);
-      *cur_axis = ((*cur_axis + (positive ? 1 : -1)) % n + n) % n;
-      const hw::NodeId to = node_at(cur);
-      if (from != hw::kInvalidNode && to != hw::kInvalidNode &&
-          !link_up(from, to))
-        return false;
-      d += positive ? -1 : 1;
-    }
-    return true;
-  };
-  return walk(0) && walk(1) && walk(2);
+  const int src_lin = linear_of(src);
+  const int dst_lin = linear_of(dst);
+  const RouteEntry& entry = route_entry(src_lin, dst_lin);
+  // The route is memoised; the link-state consultation is live, per hop.
+  for (std::uint32_t i = entry.first; i < entry.first + entry.count; ++i) {
+    const int from_lin =
+        static_cast<int>(route_links_[i] / kChannelsPerRouter);
+    const int to_lin =
+        i + 1 < entry.first + entry.count
+            ? static_cast<int>(route_links_[i + 1] / kChannelsPerRouter)
+            : dst_lin;
+    const hw::NodeId from = node_at_[from_lin];
+    const hw::NodeId to = node_at_[to_lin];
+    if (from != hw::kInvalidNode && to != hw::kInvalidNode && !link_up(from, to))
+      return false;
+  }
+  return true;
 }
 
 sim::Duration TorusFabric::retransmission_penalty(std::int64_t bytes,
@@ -162,8 +192,9 @@ void TorusFabric::send(Message msg, Service svc) {
               "TorusFabric::send: endpoint not attached");
   DEEP_EXPECT(msg.size_bytes >= 0, "TorusFabric::send: negative size");
   if (faulted(msg)) return;
-  const TorusCoord a = coord_of(msg.src);
-  const TorusCoord b = coord_of(msg.dst);
+  const int src_lin = linear_of(msg.src);
+  const int dst_lin = linear_of(msg.dst);
+  const RouteEntry& route = route_entry(src_lin, dst_lin);
 
   const sim::Duration engine_overhead =
       svc == Service::Bulk ? params_.rma_setup : params_.velo_injection;
@@ -172,40 +203,42 @@ void TorusFabric::send(Message msg, Service svc) {
   if (svc == Service::Control) {
     // Priority virtual channel (VELO-class): pays engine + per-hop latency
     // but does not queue on, or reserve, the data links.
-    const int nhops = hops(a, b) + 2;  // inject + route + eject
+    const int nhops = static_cast<int>(route.count) + 2;  // inject+route+eject
     deliver_at(engine_->now() + engine_overhead + params_.hop_latency * nhops +
                    wire + params_.ejection,
                std::move(msg));
     return;
   }
 
-  // Head traversal: injection link, route links, ejection link.
-  std::vector<LinkKey> links;
-  links.push_back(inject_link(a));
-  if (!(a == b)) {
-    auto path = route(a, b);
-    links.insert(links.end(), path.begin(), path.end());
-  }
-  links.push_back(eject_link(b));
+  // Head traversal: injection link, memoised route links, ejection link.
+  // All link state is a flat-array read/write; nothing allocates.
+  const std::int64_t inject = pack(src_lin, kChannelInject);
+  const std::int64_t eject = pack(dst_lin, kChannelEject);
 
   // The engine (VELO or RMA) is busy for the setup overhead of each
   // message, which is what bounds the NIC's message rate.
-  const LinkKey engine_key =
-      engine_link(a, svc == Service::Bulk ? Service::Bulk : Service::Small);
+  const std::int64_t engine_key =
+      pack(src_lin, svc == Service::Bulk ? kChannelRma : kChannelVelo);
   sim::TimePoint head = engine_->now();
-  if (auto it = link_free_.find(engine_key); it != link_free_.end())
-    head = std::max(head, it->second);
+  head = std::max(head, link_free_[engine_key]);
   head = head + engine_overhead;
   link_free_[engine_key] = head;
-  for (const LinkKey& link : links) {
-    auto it = link_free_.find(link);
-    if (it != link_free_.end()) head = std::max(head, it->second);
+  const auto traverse = [&](std::int64_t link) {
+    head = std::max(head, link_free_[link]);
     head = head + params_.hop_latency;
-  }
+  };
+  traverse(inject);
+  for (std::uint32_t i = route.first; i < route.first + route.count; ++i)
+    traverse(route_links_[i]);
+  traverse(eject);
+
   sim::TimePoint tail = head + wire;
-  tail = tail +
-         retransmission_penalty(msg.size_bytes, static_cast<int>(links.size()));
-  for (const LinkKey& link : links) link_free_[link] = tail;
+  tail = tail + retransmission_penalty(msg.size_bytes,
+                                       static_cast<int>(route.count) + 2);
+  link_free_[inject] = tail;
+  for (std::uint32_t i = route.first; i < route.first + route.count; ++i)
+    link_free_[route_links_[i]] = tail;
+  link_free_[eject] = tail;
 
   deliver_at(tail + params_.ejection, std::move(msg));
 }

@@ -14,8 +14,18 @@
 // Wormhole-style timing: the head flit pays a per-hop router latency and
 // queues on busy links; every traversed link (including the injection and
 // ejection links) is then held until the message tail passes.
+//
+// Hot-path layout (docs/perf.md): geometry is fixed at construction, so all
+// per-message state lives in flat arrays indexed by the linear coordinate —
+// node_at_/coord_at_ for attachment, link_free_ for wormhole link booking —
+// and dimension-ordered routes are memoised per (src,dst) pair into a shared
+// link arena.  A steady-state send performs no hashing beyond one memo probe
+// and allocates nothing.  Fault checks (route_up) still walk the route
+// per-call against the *live* link-state table, so chaos semantics are
+// unchanged by the memoisation.
 
 #include <array>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +73,11 @@ class TorusFabric final : public Fabric {
 
   void send(Message msg, Service svc) override;
 
+  /// The linear coordinates the dimension-ordered route src->dst visits,
+  /// endpoints included.  Introspection for the route-table equivalence
+  /// tests; uses the same memoised table as send()/route_up().
+  std::vector<int> route_linears(hw::NodeId src, hw::NodeId dst) const;
+
   /// Total link-level retransmissions performed so far.
   std::int64_t retransmissions() const { return retransmissions_; }
   /// Messages that traversed at least one retransmitted packet.
@@ -73,49 +88,72 @@ class TorusFabric final : public Fabric {
                              params_.bandwidth_bytes_per_sec);
   }
 
+  // Per-router channel map.  A directed link is identified by the index
+  // `linear * kChannelsPerRouter + channel` into link_free_; pack() guards
+  // that a channel can never alias the next router's channel 0.
+  static constexpr int kChannelsPerRouter = 16;
+  // Channels 0..5 are the torus dimension links: dim * 2 (+x/+y/+z) and
+  // dim * 2 + 1 (-x/-y/-z).
+  static constexpr int kChannelInject = 6;
+  static constexpr int kChannelEject = 7;
+  // The VELO/RMA engines serialise message setup per NIC: modelled as
+  // pseudo-links occupied for the injection overhead of each message.
+  static constexpr int kChannelVelo = 8;
+  static constexpr int kChannelRma = 9;
+
+  /// Directed-link index for (router, channel).  A channel outside
+  /// [0, kChannelsPerRouter) would silently alias a neighbouring router's
+  /// links, so it is rejected here.
+  static std::int64_t packed_link_index(int lin, int channel) {
+    DEEP_EXPECT(channel >= 0 && channel < kChannelsPerRouter,
+                "TorusFabric: channel would alias another router's links");
+    return static_cast<std::int64_t>(lin) * kChannelsPerRouter + channel;
+  }
+
  protected:
-  /// Walks the dimension-ordered route and fails if any hop between two
-  /// attached nodes crosses a dead link (coordinates without an attached
-  /// node cannot be named by set_link_up and are skipped).
+  /// Walks the (memoised) dimension-ordered route and fails if any hop
+  /// between two attached nodes crosses a dead link (coordinates without an
+  /// attached node cannot be named by set_link_up and are skipped).  The
+  /// link-state check itself is live — never cached.
   bool route_up(hw::NodeId src, hw::NodeId dst) const override;
 
  private:
-  // Directed link identifier: source router coordinate + channel (dimension
-  // + sign, injection, ejection, or engine pseudo-link).
-  struct LinkKey {
-    std::int64_t packed;
-    bool operator==(const LinkKey&) const = default;
+  /// One memoised route: `count` packed dimension-link indices starting at
+  /// route_links_[first].  Endpoint-only pairs (src == dst) have count 0.
+  struct RouteEntry {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
   };
-  struct LinkKeyHash {
-    std::size_t operator()(const LinkKey& k) const {
-      return std::hash<std::int64_t>()(k.packed);
-    }
-  };
-
-  LinkKey inject_link(TorusCoord c) const { return pack(c, 6); }
-  LinkKey eject_link(TorusCoord c) const { return pack(c, 7); }
-  // The VELO/RMA engines serialise message setup per NIC: modelled as
-  // pseudo-links occupied for the injection overhead of each message.
-  LinkKey engine_link(TorusCoord c, Service svc) const {
-    return pack(c, svc == Service::Bulk ? 9 : 8);
-  }
-  LinkKey dim_link(TorusCoord c, int dim, bool positive) const {
-    return pack(c, dim * 2 + (positive ? 0 : 1));
-  }
-  LinkKey pack(TorusCoord c, int channel) const;
 
   int linear(TorusCoord c) const;
-  /// Dimension-ordered route from `a` to `b`: the sequence of directed links.
-  std::vector<LinkKey> route(TorusCoord a, TorusCoord b) const;
+  int linear_of(hw::NodeId node) const;
+  /// Directed-link index into link_free_ (also the arena representation).
+  std::int64_t pack(int lin, int channel) const {
+    return packed_link_index(lin, channel);
+  }
+  std::int64_t dim_link(int lin, int dim, bool positive) const {
+    return pack(lin, dim * 2 + (positive ? 0 : 1));
+  }
+
+  /// The memoised dimension-ordered route src->dst (built on first use).
+  const RouteEntry& route_entry(int src_lin, int dst_lin) const;
+
   /// Signed shortest displacement along `dim` from `from` to `to`.
   int displacement(int from, int to, int dim) const;
 
   sim::Duration retransmission_penalty(std::int64_t bytes, int nlinks);
 
   TorusParams params_;
-  std::unordered_map<hw::NodeId, TorusCoord> coords_;
-  std::unordered_map<int, hw::NodeId> by_linear_;
-  std::unordered_map<LinkKey, sim::TimePoint, LinkKeyHash> link_free_;
+  int capacity_ = 0;
+  std::vector<TorusCoord> coord_at_;   // linear -> coordinate (fixed)
+  std::vector<hw::NodeId> node_at_;    // linear -> node (kInvalidNode if free)
+  std::unordered_map<hw::NodeId, int> linear_of_;  // node -> linear
+  std::vector<sim::TimePoint> link_free_;  // directed-link busy-until times
+  // Route memo: key (src_lin << 32) | dst_lin -> entry into the shared link
+  // arena.  Routes depend only on the fixed geometry, so entries are never
+  // invalidated.  Mutable: route_up() is const but may build a route.
+  mutable std::unordered_map<std::uint64_t, RouteEntry> route_memo_;
+  mutable std::vector<std::int64_t> route_links_;  // arena of packed links
   util::Rng rng_;
   std::int64_t retransmissions_ = 0;
   std::int64_t affected_messages_ = 0;
