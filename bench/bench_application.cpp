@@ -16,6 +16,7 @@
 // on the torus) and burns the least energy; the accelerated cluster has the
 // fastest raw silicon but loses it to per-iteration PCIe staging.
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,7 @@ struct Outcome {
   double time_ms = 0;
   double joules = 0;
   double gflops_per_watt = 0;
+  std::string metrics_json;  // observability snapshot (DEEP variant only)
 };
 
 da::StencilConfig stencil_cfg() {
@@ -64,6 +66,7 @@ Outcome run_deep() {
   cfg.cluster_nodes = 2;
   cfg.booster_nodes = kWorkers;
   cfg.gateways = 2;
+  cfg.metrics.enabled = true;  // emit an observability snapshot with E4
   dsy::DeepSystem sys(cfg);
 
   sys.programs().add("hscp", [](dsy::ProgramEnv& env) {
@@ -103,6 +106,7 @@ Outcome run_deep() {
   const auto e = sys.energy();
   out.joules = e.total_joules();
   out.gflops_per_watt = e.gflops_per_watt();
+  out.metrics_json = sys.metrics()->to_json();
   return out;
 }
 
@@ -231,6 +235,11 @@ int main(int argc, char** argv) {
   table.row().add("accelerated cluster").add(accel.time_ms).add(accel.joules)
       .add(accel.gflops_per_watt);
   db::print_table(table, csv);
+
+  if (!csv) {
+    std::printf("\nDEEP variant metrics snapshot:\n%s\n",
+                deep.metrics_json.c_str());
+  }
 
   const bool faster = deep.time_ms < cluster.time_ms && deep.time_ms < accel.time_ms;
   const bool greener = deep.joules < cluster.joules && deep.joules < accel.joules;

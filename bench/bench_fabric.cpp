@@ -4,6 +4,10 @@
 // numbers behind results/BENCH_fabric.json (scripts/run_bench_fabric.sh):
 // the simulator's cost-per-message is the scaling ceiling for booster-style
 // many-small-message traffic, so this file guards it against regressions.
+//
+// The *_Metrics variants run the identical workload with an obs::Registry
+// attached to the engine; scripts/run_bench_fabric.sh --with-metrics divides
+// the two to record the observability overhead (budget: < 5%).
 
 #include <benchmark/benchmark.h>
 
@@ -13,12 +17,14 @@
 #include "mpi/types.hpp"
 #include "net/crossbar.hpp"
 #include "net/torus.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "tests/mpi_rig.hpp"
 
 namespace dc = deep::cbp;
 namespace dm = deep::mpi;
 namespace dn = deep::net;
+namespace dob = deep::obs;
 namespace ds = deep::sim;
 
 namespace {
@@ -48,12 +54,14 @@ dn::Message mpi_shaped(deep::hw::NodeId src, deep::hw::NodeId dst,
   return m;
 }
 
-void BM_TorusMessageHotPath(benchmark::State& state) {
+void torus_hot_path(benchmark::State& state, bool with_metrics) {
   // Steady-state cost of one header-carrying, payload-carrying message on an
   // 8x8x8 torus: routing, link bookkeeping, delivery event, NIC dispatch.
   // Engine and fabric live across iterations so pools/caches are warm.
   const int nodes = 512;
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::TorusParams p;
   p.dims = {8, 8, 8};
   dn::TorusFabric t(eng, "extoll", p);
@@ -70,7 +78,16 @@ void BM_TorusMessageHotPath(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations() * nodes);
 }
+
+void BM_TorusMessageHotPath(benchmark::State& state) {
+  torus_hot_path(state, /*with_metrics=*/false);
+}
 BENCHMARK(BM_TorusMessageHotPath);
+
+void BM_TorusMessageHotPath_Metrics(benchmark::State& state) {
+  torus_hot_path(state, /*with_metrics=*/true);
+}
+BENCHMARK(BM_TorusMessageHotPath_Metrics);
 
 void BM_TorusBulkContended(benchmark::State& state) {
   // Bulk (RMA-class) messages with shared-link contention resolution.
@@ -91,11 +108,13 @@ void BM_TorusBulkContended(benchmark::State& state) {
 }
 BENCHMARK(BM_TorusBulkContended);
 
-void BM_CrossbarMessageHotPath(benchmark::State& state) {
+void crossbar_hot_path(benchmark::State& state, bool with_metrics) {
   // Same message shape over the flat InfiniBand model: isolates the shared
   // Message/payload/delivery cost from torus routing.
   const int nodes = 64;
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::CrossbarFabric ib(eng, "ib", {});
   for (int n = 0; n < nodes; ++n)
     ib.attach(n).bind(dn::Port::Raw, [](dn::Message&&) {});
@@ -107,12 +126,23 @@ void BM_CrossbarMessageHotPath(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * nodes);
 }
+
+void BM_CrossbarMessageHotPath(benchmark::State& state) {
+  crossbar_hot_path(state, /*with_metrics=*/false);
+}
 BENCHMARK(BM_CrossbarMessageHotPath);
 
-void BM_CbpBridgeHotPath(benchmark::State& state) {
+void BM_CrossbarMessageHotPath_Metrics(benchmark::State& state) {
+  crossbar_hot_path(state, /*with_metrics=*/true);
+}
+BENCHMARK(BM_CrossbarMessageHotPath_Metrics);
+
+void cbp_bridge_hot_path(benchmark::State& state, bool with_metrics) {
   // Cross-fabric messages: wrap in a CBP frame, hop to a gateway, SMFU
   // processing, re-injection on the far fabric.
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::CrossbarFabric ib(eng, "ib", {});
   dn::TorusParams tp;
   tp.dims = {4, 2, 1};
@@ -138,7 +168,16 @@ void BM_CbpBridgeHotPath(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
+
+void BM_CbpBridgeHotPath(benchmark::State& state) {
+  cbp_bridge_hot_path(state, /*with_metrics=*/false);
+}
 BENCHMARK(BM_CbpBridgeHotPath);
+
+void BM_CbpBridgeHotPath_Metrics(benchmark::State& state) {
+  cbp_bridge_hot_path(state, /*with_metrics=*/true);
+}
+BENCHMARK(BM_CbpBridgeHotPath_Metrics);
 
 void BM_MpiEagerThroughput(benchmark::State& state) {
   // End-to-end: rank 0 streams eager messages to rank 1 (isend + periodic

@@ -17,7 +17,12 @@
 # across runs; "current" is replaced each time.  See docs/perf.md for how
 # to read the numbers.
 #
-# Usage: scripts/run_bench_fabric.sh [output.json]
+# With --with-metrics, the *_Metrics benchmark variants (identical workload,
+# obs::Registry attached) are paired with their plain counterparts and the
+# observability overhead (plain/metrics throughput) is recorded under
+# "current"."metrics_overhead" — the acceptance budget is < 5%.
+#
+# Usage: scripts/run_bench_fabric.sh [--with-metrics] [output.json]
 #   BUILD_DIR=...    build tree to use            (default: <repo>/build)
 #   BENCH_FILTER=... benchmark regex              (default: all fabric benches)
 #   BENCH_REPS=N     google-benchmark repetitions (default: 1)
@@ -26,8 +31,15 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-OUT="${1:-$ROOT/results/BENCH_fabric.json}"
+OUT="$ROOT/results/BENCH_fabric.json"
 FILTER="${BENCH_FILTER:-.}"
+WITH_METRICS=0
+for arg in "$@"; do
+  case "$arg" in
+    --with-metrics) WITH_METRICS=1 ;;
+    *) OUT="$arg" ;;
+  esac
+done
 
 if [ ! -x "$BUILD/bench/bench_fabric" ] || [ ! -x "$BUILD/bench/bench_application" ]; then
   cmake -B "$BUILD" -S "$ROOT"
@@ -37,9 +49,12 @@ fi
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+# Random interleaving spreads repetitions of paired benchmarks across the
+# run, so thermal / frequency drift does not bias the overhead ratios.
 "$BUILD/bench/bench_fabric" \
   --benchmark_filter="$FILTER" \
   --benchmark_out="$TMP" --benchmark_out_format=json \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_repetitions="${BENCH_REPS:-1}"
 
 # bench_application wall-clock: the end-to-end "does the optimisation show up
@@ -55,10 +70,11 @@ APP_MS=$(
 echo "bench_application wall-clock: ${APP_MS} ms (median of 3)"
 
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$TMP" "$OUT" "$APP_MS" <<'EOF'
+  python3 - "$TMP" "$OUT" "$APP_MS" "$WITH_METRICS" <<'EOF'
 import json, sys
 
 current_path, out_path, app_ms = sys.argv[1], sys.argv[2], int(sys.argv[3])
+with_metrics = sys.argv[4] == "1"
 with open(current_path) as f:
     fabric = json.load(f)
 
@@ -70,6 +86,35 @@ except (OSError, ValueError):
     pass
 
 merged["current"] = {"fabric": fabric, "bench_application_ms": app_ms}
+
+if with_metrics:
+    # Pair BM_Foo with BM_Foo_Metrics and record the observability overhead:
+    # overhead_pct = (plain_throughput / metrics_throughput - 1) * 100.
+    # With repetitions, prefer the _median aggregate over individual reps.
+    by_name = {b["name"]: b for b in fabric.get("benchmarks", [])}
+
+    def throughput(name):
+        b = by_name.get(name + "_median", by_name.get(name))
+        return b.get("items_per_second") if b else None
+
+    overhead = {}
+    for name in sorted({b["name"].removesuffix("_median")
+                        for b in fabric.get("benchmarks", [])}):
+        if not name.endswith("_Metrics"):
+            continue
+        base = name[: -len("_Metrics")]
+        plain_ips, metrics_ips = throughput(base), throughput(name)
+        if not plain_ips or not metrics_ips:
+            continue
+        pct = (plain_ips / metrics_ips - 1.0) * 100
+        overhead[base] = {
+            "plain_items_per_second": plain_ips,
+            "metrics_items_per_second": metrics_ips,
+            "overhead_pct": round(pct, 2),
+        }
+        print(f'  metrics overhead {base}: {pct:+.2f}% (budget < 5%)')
+    merged["current"]["metrics_overhead"] = overhead
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -4,8 +4,9 @@
 # workload and replays each seed twice, asserting bit-identical event traces;
 # ASan additionally checks that the retry/loss paths never touch freed
 # frames or leak them.  The perf suite (pool invariants, route-table
-# equivalence, zero-allocation checks — label: perf) rides along so the
-# pooled hot path is sanitised too.
+# equivalence, zero-allocation checks — label: perf) and the metrics suite
+# (registry unit tests + snapshot determinism sweeps — label: metrics) ride
+# along so the pooled hot path and the observability layer are sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -17,10 +18,11 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos_test + netperf_test in $BUILD =="
-cmake --build "$BUILD" --target chaos_test netperf_test -j "$(nproc)"
+echo "== building chaos_test + netperf_test + obs_test + metrics_test in $BUILD =="
+cmake --build "$BUILD" --target chaos_test netperf_test obs_test metrics_test \
+  -j "$(nproc)"
 
-echo "== running chaos + perf suites (labels: chaos, perf) =="
-ctest --test-dir "$BUILD" -L 'chaos|perf' -E bench_fabric_smoke \
+echo "== running chaos + perf + metrics suites (labels: chaos, perf, metrics) =="
+ctest --test-dir "$BUILD" -L 'chaos|perf|metrics' -E bench_fabric_smoke \
   --output-on-failure "$@"
-echo "chaos suite passed: 32-seed sweeps replayed bit-identically"
+echo "chaos suite passed: sweeps replayed bit-identically (traces and metric snapshots)"

@@ -49,6 +49,17 @@ BridgedTransport::BridgedTransport(sim::Engine& engine,
   };
   cluster_->set_drop_handler(handler);
   booster_->set_drop_handler(handler);
+  if (auto* metrics = engine_->metrics()) {
+    m_forwarded_ = metrics->counter("cbp.forwarded");
+    m_forwarded_bytes_ = metrics->counter("cbp.forwarded_bytes");
+    m_timeouts_ = metrics->counter("cbp.timeouts");
+    m_retries_ = metrics->counter("cbp.retries");
+    m_failovers_ = metrics->counter("cbp.failovers");
+    m_frames_lost_ = metrics->counter("cbp.frames_lost");
+    m_smfu_busy_ps_ = metrics->counter("cbp.smfu_busy_ps");
+    m_smfu_wait_ns_ = metrics->histogram("cbp.smfu_wait_ns");
+    m_retry_delay_ns_ = metrics->histogram("cbp.retry_delay_ns");
+  }
 }
 
 void BridgedTransport::register_cluster_node(hw::NodeId node) {
@@ -224,6 +235,7 @@ void BridgedTransport::retry_frame(net::Message&& wrapped) {
   DEEP_EXPECT(frame != nullptr, "CBP: malformed frame in retry path");
   if (frame->attempts >= params_.max_retries) {
     ++frames_lost_;
+    m_frames_lost_.add(1);
     report_loss(unwrap_frame(std::move(wrapped), *frame));
     return;
   }
@@ -234,6 +246,7 @@ void BridgedTransport::retry_frame(net::Message&& wrapped) {
   const double scale = std::pow(params_.backoff_factor, frame->attempts - 1);
   const sim::Duration delay{static_cast<std::int64_t>(
       static_cast<double>(params_.retry_timeout.ps) * scale)};
+  m_retry_delay_ns_.record(delay.ps / 1000);
   engine_->schedule_in(delay,
                        [this, w = net::PooledMessage(std::move(wrapped))]() mutable {
                          resend_frame(w.take());
@@ -253,9 +266,11 @@ void BridgedTransport::resend_frame(net::Message&& wrapped) {
     return;
   }
   gw->stats.retries += 1;
+  m_retries_.add(1);
   if (frame->last_gateway != hw::kInvalidNode &&
       gw->node != frame->last_gateway) {
     gw->stats.failovers += 1;
+    m_failovers_.add(1);
   }
   frame->last_gateway = gw->node;
   wrapped.dst = gw->node;
@@ -343,6 +358,7 @@ void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
     // The frame reached a dead gateway: its SMFU no longer acks, the sender
     // times out and the frame re-enters the retry path.
     gw.stats.timeouts += 1;
+    m_timeouts_.add(1);
     retry_frame(std::move(wrapped));
     return;
   }
@@ -363,6 +379,10 @@ void BridgedTransport::forward(GatewayState& gw, net::Message&& wrapped) {
 
   gw.stats.forwarded_messages += 1;
   gw.stats.forwarded_bytes += wrapped.size_bytes;
+  m_forwarded_.add(1);
+  m_forwarded_bytes_.add(wrapped.size_bytes);
+  m_smfu_busy_ps_.add(processing.ps);
+  m_smfu_wait_ns_.record((start - engine_->now()).ps / 1000);
 
   const bool dst_on_cluster = side_of(inner.dst) != Side::Booster;
   net::Fabric& out = fabric_for_side(dst_on_cluster);

@@ -139,6 +139,16 @@ class BridgedTransport final : public Transport {
   std::size_t rr_next_ = 0;
   std::int64_t unrouted_retries_ = 0;  // retries while no gateway was up
   std::int64_t frames_lost_ = 0;
+  // Metrics handles (null without a registry; see docs/observability.md).
+  obs::Counter m_forwarded_;
+  obs::Counter m_forwarded_bytes_;
+  obs::Counter m_timeouts_;
+  obs::Counter m_retries_;
+  obs::Counter m_failovers_;
+  obs::Counter m_frames_lost_;
+  obs::Counter m_smfu_busy_ps_;     // SMFU occupancy (processing time booked)
+  obs::Histogram m_smfu_wait_ns_;   // queueing behind the gateway's SMFU
+  obs::Histogram m_retry_delay_ns_; // backoff delays of retried frames
 };
 
 }  // namespace deep::cbp

@@ -50,9 +50,11 @@ RequestPtr Endpoint::start_send(const EpAddr& dst, ContextId context,
   msg.src = node_;
   msg.dst = dst.node;
   msg.port = net::Port::Mpi;
+  system_->metrics().msg_bytes.record(h.bytes);
 
   if (h.bytes <= p.eager_threshold) {
     // Eager: one message, data inline, locally complete at injection.
+    system_->metrics().eager_sends.add(1);
     h.kind = MsgKind::Eager;
     msg.size_bytes = h.bytes + p.header_bytes;
     msg.header = h;
@@ -61,6 +63,7 @@ RequestPtr Endpoint::start_send(const EpAddr& dst, ContextId context,
     complete(request, src_rank, tag, h.bytes);
   } else {
     // Rendezvous: RTS now, bulk data after CTS.
+    system_->metrics().rendezvous_sends.add(1);
     h.kind = MsgKind::Rts;
     h.op = next_op_++;
     msg.size_bytes = p.header_bytes;

@@ -15,6 +15,11 @@ Mpi::Mpi(MpiSystem& system, sim::Context& ctx, hw::Node& node,
       parent_(std::move(parent)) {
   endpoint_ref_ = system.endpoint_ptr(endpoint.id());
   endpoint_->set_owner(&ctx.process());
+  if (auto* m = system.engine().metrics()) {
+    // Per-rank wait-time distribution, keyed by endpoint id (stable across
+    // replays: endpoint ids are allocated in deterministic creation order).
+    m_wait_ns_ = m->histogram("mpi.wait_ns.ep" + std::to_string(endpoint.id()));
+  }
 }
 
 Mpi::~Mpi() {
@@ -101,7 +106,9 @@ void Mpi::wait(const RequestPtr& request) {
   if (!request->done) {
     sim::Process& self = ctx_->process();
     self.set_block_note("wait(" + describe(*request) + ")");
+    const sim::TimePoint blocked_at = ctx_->now();
     while (!request->done) ctx_->suspend();
+    record_wait(blocked_at);
     self.set_block_note({});
   }
   if (request->error != ErrCode::Success) throw_request_error(*request);
@@ -120,11 +127,15 @@ std::size_t Mpi::wait_any(std::span<const RequestPtr> requests) {
   DEEP_EXPECT(!requests.empty(), "wait_any: empty request list");
   sim::Process& self = ctx_->process();
   bool noted = false;
+  sim::TimePoint blocked_at{};
   for (;;) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       DEEP_EXPECT(requests[i] != nullptr, "wait_any: null request");
       if (!requests[i]->done) continue;
-      if (noted) self.set_block_note({});
+      if (noted) {
+        record_wait(blocked_at);
+        self.set_block_note({});
+      }
       if (requests[i]->error != ErrCode::Success)
         throw_request_error(*requests[i]);
       return i;
@@ -133,6 +144,7 @@ std::size_t Mpi::wait_any(std::span<const RequestPtr> requests) {
       self.set_block_note("wait_any(" + std::to_string(requests.size()) +
                           " requests, first: " + describe(*requests[0]) + ")");
       noted = true;
+      blocked_at = ctx_->now();
     }
     ctx_->suspend();
   }

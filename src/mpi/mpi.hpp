@@ -305,6 +305,14 @@ class Mpi {
   std::weak_ptr<Endpoint> endpoint_ref_;
   Comm world_;
   std::optional<Intercomm> parent_;
+  // Per-rank blocked-wait latency; feeds the system-wide mpi.wait_ns too.
+  obs::Histogram m_wait_ns_;
+  /// Books a blocked stretch of wait()/wait_any() into both histograms.
+  void record_wait(sim::TimePoint since) const {
+    const std::int64_t ns = (ctx_->now() - since).ps / 1000;
+    m_wait_ns_.record(ns);
+    system_->metrics().wait_ns.record(ns);
+  }
 };
 
 // ===========================================================================

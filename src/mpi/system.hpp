@@ -60,6 +60,18 @@ class MpiSystem {
   sim::Engine& engine() const { return *engine_; }
   const MpiParams& params() const { return params_; }
 
+  /// System-wide MPI instrument handles (detached when the engine has no
+  /// registry).  Endpoints and rank handles record through these; the
+  /// per-rank wait histograms live on the Mpi handles themselves.
+  struct Metrics {
+    obs::Counter eager_sends;        // sends at or below the eager threshold
+    obs::Counter rendezvous_sends;   // RTS/CTS protocol sends
+    obs::Counter messages_lost;      // unrecoverable wire losses
+    obs::Histogram msg_bytes;        // payload size distribution
+    obs::Histogram wait_ns;          // blocked time in wait/wait_any, all ranks
+  };
+  const Metrics& metrics() const { return metrics_; }
+
   /// Creates and registers an endpoint homed on `node`.  Binds the node's
   /// NIC MPI port on first use.
   Endpoint& create_endpoint(hw::NodeId node);
@@ -125,6 +137,7 @@ class MpiSystem {
   std::map<std::pair<std::uint64_t, std::uint64_t>, SpawnResult> spawn_memo_;
   Spawner spawner_;
   std::int64_t messages_lost_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace deep::mpi

@@ -25,6 +25,11 @@ class CrossbarFabric final : public Fabric {
       : Fabric(engine, std::move(name)), params_(params) {
     DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
                 "CrossbarFabric: bandwidth must be positive");
+    if (auto* metrics = engine.metrics()) {
+      m_link_busy_ps_ =
+          metrics->counter("net." + this->name() + ".link_busy_ps");
+      m_tx_wait_ns_ = metrics->histogram("net." + this->name() + ".tx_wait_ns");
+    }
   }
 
   const CrossbarParams& params() const { return params_; }
@@ -47,6 +52,9 @@ class CrossbarFabric final : public Fabric {
     const sim::TimePoint tx_start = std::max(now, tx);
     const sim::TimePoint tx_end = tx_start + wire;
     tx = tx_end;
+    // Endpoint-link occupancy (tx + rx) and injection queueing delay.
+    m_link_busy_ps_.add(wire.ps * 2);
+    m_tx_wait_ns_.record((tx_start - now).ps / 1000);
 
     const sim::TimePoint nominal = tx_end + params_.latency;
     sim::TimePoint& rx = rx_free_[msg.dst];
@@ -66,6 +74,8 @@ class CrossbarFabric final : public Fabric {
   CrossbarParams params_;
   std::unordered_map<hw::NodeId, sim::TimePoint> tx_free_;
   std::unordered_map<hw::NodeId, sim::TimePoint> rx_free_;
+  obs::Counter m_link_busy_ps_;
+  obs::Histogram m_tx_wait_ns_;
 };
 
 }  // namespace deep::net

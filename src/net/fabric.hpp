@@ -37,7 +37,16 @@ struct FabricStats {
 class Fabric {
  public:
   explicit Fabric(sim::Engine& engine, std::string name)
-      : engine_(&engine), name_(std::move(name)) {}
+      : engine_(&engine), name_(std::move(name)) {
+    // Metrics handles (null when no registry is attached to the engine —
+    // recording is then a single branch, same contract as the tracer).
+    if (auto* metrics = engine_->metrics()) {
+      m_messages_ = metrics->counter("net." + name_ + ".messages");
+      m_bytes_ = metrics->counter("net." + name_ + ".bytes");
+      m_dropped_ = metrics->counter("net." + name_ + ".dropped");
+      m_delivery_ns_ = metrics->histogram("net." + name_ + ".delivery_ns");
+    }
+  }
   virtual ~Fabric() = default;
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -128,6 +137,7 @@ class Fabric {
   /// Books and reports a dropped message.
   void drop(Message&& msg) {
     stats_.messages_dropped += 1;
+    m_dropped_.add(1);
     if (auto* tracer = engine_->tracer()) {
       tracer->instant(name_ + " wire",
                       "drop " + std::to_string(msg.src) + "->" +
@@ -143,6 +153,9 @@ class Fabric {
     stats_.messages += 1;
     stats_.bytes += msg.size_bytes;
     stats_.delivery_us.add((at - engine_->now()).micros());
+    m_messages_.add(1);
+    m_bytes_.add(msg.size_bytes);
+    m_delivery_ns_.record((at - engine_->now()).ps / 1000);
     if (auto* tracer = engine_->tracer()) {
       tracer->span(name_ + " wire",
                    std::to_string(msg.src) + "->" + std::to_string(msg.dst) +
@@ -163,6 +176,10 @@ class Fabric {
   std::string name_;
   std::unordered_map<hw::NodeId, std::unique_ptr<Nic>> nics_;
   FabricStats stats_;
+  obs::Counter m_messages_;
+  obs::Counter m_bytes_;
+  obs::Counter m_dropped_;
+  obs::Histogram m_delivery_ns_;
 
  private:
   static std::pair<hw::NodeId, hw::NodeId> link_pair(hw::NodeId a,

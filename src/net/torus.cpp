@@ -27,6 +27,14 @@ TorusFabric::TorusFabric(sim::Engine& engine, std::string name,
   // slot behaves exactly like an absent entry in the old hash map.
   link_free_.assign(static_cast<std::size_t>(capacity_) * kChannelsPerRouter,
                     sim::TimePoint{});
+  if (auto* metrics = engine.metrics()) {
+    m_hops_ = metrics->counter("net." + this->name() + ".hops");
+    m_retransmissions_ =
+        metrics->counter("net." + this->name() + ".retransmissions");
+    m_link_busy_ps_ = metrics->counter("net." + this->name() + ".link_busy_ps");
+    m_head_wait_ns_ =
+        metrics->histogram("net." + this->name() + ".head_wait_ns");
+  }
 }
 
 int TorusFabric::linear(TorusCoord c) const {
@@ -182,6 +190,7 @@ sim::Duration TorusFabric::retransmission_penalty(std::int64_t bytes,
   if (resends == 0) return {};
   retransmissions_ += resends;
   ++affected_messages_;
+  m_retransmissions_.add(resends);
   const std::int64_t min_packet = std::min(params_.packet_bytes, bytes);
   return (params_.hop_latency + serialisation(min_packet)) *
          static_cast<std::int64_t>(resends);
@@ -204,6 +213,7 @@ void TorusFabric::send(Message msg, Service svc) {
     // Priority virtual channel (VELO-class): pays engine + per-hop latency
     // but does not queue on, or reserve, the data links.
     const int nhops = static_cast<int>(route.count) + 2;  // inject+route+eject
+    m_hops_.add(route.count);
     deliver_at(engine_->now() + engine_overhead + params_.hop_latency * nhops +
                    wire + params_.ejection,
                std::move(msg));
@@ -231,6 +241,13 @@ void TorusFabric::send(Message msg, Service svc) {
   for (std::uint32_t i = route.first; i < route.first + route.count; ++i)
     traverse(route_links_[i]);
   traverse(eject);
+
+  // Bookkeeping for the observability layer: dimension hops, head latency
+  // (queueing included), and wire occupancy summed over every held link —
+  // the report divides the latter by elapsed time for utilisation.
+  m_hops_.add(route.count);
+  m_head_wait_ns_.record((head - engine_->now()).ps / 1000);
+  m_link_busy_ps_.add(wire.ps * (static_cast<std::int64_t>(route.count) + 2));
 
   sim::TimePoint tail = head + wire;
   tail = tail + retransmission_penalty(msg.size_bytes,

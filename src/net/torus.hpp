@@ -158,6 +158,11 @@ class TorusFabric final : public Fabric {
   std::int64_t retransmissions_ = 0;
   std::int64_t affected_messages_ = 0;
   int next_linear_ = 0;
+  // Metrics (null handles when no registry; see Fabric).
+  obs::Counter m_hops_;             // torus dimension hops traversed
+  obs::Counter m_retransmissions_;  // link-level packet resends
+  obs::Counter m_link_busy_ps_;     // serialisation occupancy, summed per link
+  obs::Histogram m_head_wait_ns_;   // injection->head-at-destination latency
 };
 
 }  // namespace deep::net

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace deep::obs {
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    case 2:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Registry::Entry& Registry::get_or_create(std::string_view name, Kind kind) {
+  DEEP_EXPECT(!name.empty(), "Registry: empty metric name");
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    DEEP_EXPECT(it->second->kind == kind,
+                "Registry: '" + std::string(name) + "' already registered as " +
+                    kind_name(static_cast<int>(it->second->kind)));
+    return *it->second;
+  }
+  entries_.push_back(Entry{std::string(name), kind, {}, {}, {}});
+  Entry& entry = entries_.back();
+  index_.emplace(entry.name, &entry);
+  return entry;
+}
+
+Counter Registry::counter(std::string_view name) {
+  return Counter(&get_or_create(name, Kind::Counter).counter);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  return Gauge(&get_or_create(name, Kind::Gauge).gauge);
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  return Histogram(&get_or_create(name, Kind::Histogram).hist);
+}
+
+std::int64_t Registry::value(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return 0;
+  const Entry& e = *it->second;
+  switch (e.kind) {
+    case Kind::Counter:
+      return e.counter.value;
+    case Kind::Gauge:
+      return e.gauge.value;
+    case Kind::Histogram:
+      return e.hist.count;
+  }
+  return 0;
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"kind\":\""
+       << kind_name(static_cast<int>(e.kind)) << '"';
+    switch (e.kind) {
+      case Kind::Counter:
+        os << ",\"value\":" << e.counter.value;
+        break;
+      case Kind::Gauge:
+        os << ",\"value\":" << e.gauge.value << ",\"peak\":" << e.gauge.peak;
+        break;
+      case Kind::Histogram: {
+        const HistogramCell& h = e.hist;
+        os << ",\"count\":" << h.count << ",\"sum\":" << h.sum
+           << ",\"min\":" << (h.count ? h.min : 0)
+           << ",\"max\":" << (h.count ? h.max : 0)
+           << ",\"p50\":" << h.value_at_percentile(50)
+           << ",\"p90\":" << h.value_at_percentile(90)
+           << ",\"p99\":" << h.value_at_percentile(99) << ",\"buckets\":[";
+        bool bfirst = true;
+        for (int b = 0; b < HistogramCell::kNumBuckets; ++b) {
+          const std::int64_t n = h.buckets[static_cast<std::size_t>(b)];
+          if (n == 0) continue;  // sparse: only occupied buckets
+          if (!bfirst) os << ',';
+          bfirst = false;
+          os << '[' << b << ',' << n << ']';
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+util::Table Registry::to_csv_table() const {
+  util::Table table({"metric", "field", "value"});
+  const auto emit = [&table](const std::string& name, const char* field,
+                             std::int64_t v) {
+    table.row().add(name).add(field).add(v);
+  };
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::Counter:
+        emit(e.name, "value", e.counter.value);
+        break;
+      case Kind::Gauge:
+        emit(e.name, "value", e.gauge.value);
+        emit(e.name, "peak", e.gauge.peak);
+        break;
+      case Kind::Histogram: {
+        const HistogramCell& h = e.hist;
+        emit(e.name, "count", h.count);
+        emit(e.name, "sum", h.sum);
+        emit(e.name, "min", h.count ? h.min : 0);
+        emit(e.name, "p50", h.value_at_percentile(50));
+        emit(e.name, "p90", h.value_at_percentile(90));
+        emit(e.name, "p99", h.value_at_percentile(99));
+        emit(e.name, "max", h.count ? h.max : 0);
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<std::string> Registry::sample_columns() const {
+  std::vector<std::string> cols;
+  cols.reserve(1 + entries_.size() * 2);
+  cols.push_back("time_ps");
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::Counter:
+        cols.push_back(e.name);
+        break;
+      case Kind::Gauge:
+        cols.push_back(e.name);
+        cols.push_back(e.name + ".peak");
+        break;
+      case Kind::Histogram:
+        cols.push_back(e.name + ".count");
+        cols.push_back(e.name + ".sum");
+        cols.push_back(e.name + ".p50");
+        cols.push_back(e.name + ".p99");
+        cols.push_back(e.name + ".max");
+        break;
+    }
+  }
+  return cols;
+}
+
+void Registry::append_sample(util::Table& table, sim::TimePoint now) const {
+  // The registry can grow while a run samples (per-rank instruments register
+  // when ranks spawn), but the wide table's columns were fixed at creation.
+  // Entries only ever append, so the table's columns are a stable prefix of
+  // the current registration order: emit values until the row is full.
+  const std::size_t want = table.columns().size();
+  std::size_t filled = 1;
+  table.row().add(now.ps);
+  for (const Entry& e : entries_) {
+    if (filled >= want) break;
+    switch (e.kind) {
+      case Kind::Counter:
+        table.add(e.counter.value);
+        filled += 1;
+        break;
+      case Kind::Gauge:
+        table.add(e.gauge.value).add(e.gauge.peak);
+        filled += 2;
+        break;
+      case Kind::Histogram:
+        table.add(e.hist.count)
+            .add(e.hist.sum)
+            .add(e.hist.value_at_percentile(50))
+            .add(e.hist.value_at_percentile(99))
+            .add(e.hist.count ? e.hist.max : 0);
+        filled += 5;
+        break;
+    }
+  }
+}
+
+}  // namespace deep::obs

@@ -1,0 +1,237 @@
+#pragma once
+// deep::obs — the metrics layer: a Registry of named counters, gauges and
+// log-bucketed latency histograms, designed for the engine's zero-allocation
+// hot path (docs/observability.md).
+//
+// Contract (same as sim::Tracer): layers register their instruments once, at
+// construction time, and keep the returned *handle*.  A handle is a single
+// pointer into the registry's stable cell storage; recording through it is a
+// null check plus plain integer arithmetic — no hashing, no allocation, no
+// floating point.  When no registry is attached the handles are null and
+// every record call collapses to one predictable branch.
+//
+// Determinism: every cell holds only integers, histogram bucket boundaries
+// are fixed powers of two (bucket index = bit_width of the value), and
+// percentiles are derived from bucket counts with integer ranks.  Two
+// replays of a deterministic simulation therefore produce byte-identical
+// snapshots (to_json/to_csv_table), which the metrics determinism suite
+// asserts across seeds and chaos plans.
+//
+// Registration is idempotent: asking for an existing name (same kind)
+// returns a handle to the same cell, which is how per-rank instruments share
+// system-wide aggregates.  Snapshots list entries in first-registration
+// order — itself deterministic because construction order is.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace deep::util {
+class Table;
+}
+
+namespace deep::obs {
+
+class Registry;
+
+/// Monotonic event count (messages sent, retries, busy picoseconds...).
+struct CounterCell {
+  std::int64_t value = 0;
+};
+
+/// Last-written level plus its high-water mark (queue depth, occupancy).
+struct GaugeCell {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+};
+
+/// Log-bucketed distribution of non-negative integer samples (latencies in
+/// ns, sizes in bytes).  Bucket 0 collects v <= 0; bucket b in [1, 62]
+/// collects bit_width(v) == b, i.e. v in [2^(b-1), 2^b - 1]; bucket 63 is
+/// the overflow bucket (v >= 2^62).  min/max/sum/count are exact.
+struct HistogramCell {
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kOverflowBucket = kNumBuckets - 1;
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, kNumBuckets> buckets{};
+
+  static int bucket_of(std::int64_t v) {
+    if (v <= 0) return 0;
+    const int b = std::bit_width(static_cast<std::uint64_t>(v));
+    return b < kOverflowBucket ? b : kOverflowBucket;
+  }
+
+  /// Largest value bucket `b` can hold (its inclusive upper boundary).
+  static std::int64_t bucket_upper(int b) {
+    if (b <= 0) return 0;
+    if (b >= kOverflowBucket) return INT64_MAX;
+    return (std::int64_t{1} << b) - 1;
+  }
+
+  void record(std::int64_t v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    sum += v;
+    ++buckets[static_cast<std::size_t>(bucket_of(v))];
+  }
+
+  void merge(const HistogramCell& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      min = other.min;
+      max = other.max;
+    } else {
+      if (other.min < min) min = other.min;
+      if (other.max > max) max = other.max;
+    }
+    count += other.count;
+    sum += other.sum;
+    for (int b = 0; b < kNumBuckets; ++b)
+      buckets[static_cast<std::size_t>(b)] +=
+          other.buckets[static_cast<std::size_t>(b)];
+  }
+
+  /// Value at percentile `pct` in [0, 100]: the upper boundary of the first
+  /// bucket whose cumulative count reaches ceil(count * pct / 100), clamped
+  /// to the exact observed max.  Pure integer arithmetic — deterministic.
+  std::int64_t value_at_percentile(int pct) const {
+    if (count == 0) return 0;
+    std::int64_t rank = (count * pct + 99) / 100;
+    if (rank < 1) rank = 1;
+    std::int64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cum += buckets[static_cast<std::size_t>(b)];
+      if (cum >= rank) return std::min(bucket_upper(b), max);
+    }
+    return max;
+  }
+};
+
+/// Handle to a counter cell; default-constructed handles are detached and
+/// add() is a single branch.
+class Counter {
+ public:
+  Counter() = default;
+  // Recording mutates the registry's cell, not the handle, so the methods
+  // are const: layers may record through const references.
+  void add(std::int64_t v) const {
+    if (cell_) cell_->value += v;
+  }
+  void inc() const { add(1); }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(CounterCell* cell) : cell_(cell) {}
+  CounterCell* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const {
+    if (cell_) {
+      cell_->value = v;
+      if (v > cell_->peak) cell_->peak = v;
+    }
+  }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(GaugeCell* cell) : cell_(cell) {}
+  GaugeCell* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::int64_t v) const {
+    if (cell_) cell_->record(v);
+  }
+  /// Folds `other`'s samples into this histogram (both must be attached).
+  void merge_from(const Histogram& other) const {
+    if (cell_ && other.cell_) cell_->merge(*other.cell_);
+  }
+  bool attached() const { return cell_ != nullptr; }
+  /// Read access for tests/exporters; null when detached.
+  const HistogramCell* cell() const { return cell_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  HistogramCell* cell_ = nullptr;
+};
+
+/// The instrument registry.  Owns all cells (stable addresses via deque);
+/// attach to an Engine with set_metrics() *before* constructing the layers
+/// so they can register handles in their constructors.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) the named instrument.  Re-registering an existing
+  /// name with the same kind returns a handle to the same cell; a kind
+  /// mismatch is a usage error.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Reads a registered instrument's primary value by name (counter/gauge
+  /// value, histogram count); 0 when absent.  Slow path, for tests/reports.
+  std::int64_t value(std::string_view name) const;
+
+  /// JSON snapshot, entries in registration order, integers only — two
+  /// replays of a deterministic run produce byte-identical documents.
+  std::string to_json() const;
+
+  /// Long-format snapshot table (columns: metric, field, value) — the CSV
+  /// exporter and the report section build on this.
+  util::Table to_csv_table() const;
+
+  /// Column names for a wide time-series table: "time_ps" then one column
+  /// per counter value, gauge value/peak, histogram count/sum/p50/p99/max.
+  std::vector<std::string> sample_columns() const;
+  /// Appends one sample row (matching sample_columns()) to `table`.
+  void append_sample(util::Table& table, sim::TimePoint now) const;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind;
+    CounterCell counter;
+    GaugeCell gauge;
+    HistogramCell hist;
+  };
+
+  Entry& get_or_create(std::string_view name, Kind kind);
+
+  std::deque<Entry> entries_;  // deque: handles point at cells, never moved
+  std::map<std::string, Entry*, std::less<>> index_;
+};
+
+}  // namespace deep::obs

@@ -57,6 +57,15 @@ std::vector<std::byte> offload_invoke(mpi::Mpi& mpi,
                                       const mpi::Intercomm& booster,
                                       const std::string& kernel,
                                       std::span<const std::byte> input) {
+  // Registry lookup per invoke is fine here: an offload is a whole kernel
+  // round-trip to the booster, nowhere near the message hot path.
+  obs::Counter m_offloads;
+  obs::Histogram m_offload_ns;
+  if (auto* m = mpi.system().engine().metrics()) {
+    m_offloads = m->counter("ompss.offloads");
+    m_offload_ns = m->histogram("ompss.offload_ns");
+  }
+  const sim::TimePoint begin = mpi.ctx().now();
   const OffloadHeader header =
       make_header(kernel, static_cast<std::int64_t>(input.size()));
   mpi.send_bytes(booster, 0, kOffloadHeaderTag, header_bytes(header));
@@ -69,6 +78,8 @@ std::vector<std::byte> offload_invoke(mpi::Mpi& mpi,
   std::vector<std::byte> reply(static_cast<std::size_t>(reply_bytes));
   if (reply_bytes > 0)
     mpi.recv_bytes(booster, 0, kOffloadReplyTag, reply);
+  m_offloads.add(1);
+  m_offload_ns.record((mpi.ctx().now() - begin).ps / 1000);
   return reply;
 }
 

@@ -22,6 +22,11 @@ Runtime::Runtime(sim::Context& master, hw::Node& node, int workers)
     p.set_daemon(true);
     workers_.push_back(&p);
   }
+  if (auto* m = master.engine().metrics()) {
+    m_tasks_ = m->counter("ompss.tasks");
+    m_edges_ = m->counter("ompss.dependency_edges");
+    m_task_ns_ = m->histogram("ompss.task_ns");
+  }
 }
 
 Runtime::~Runtime() {
@@ -122,6 +127,7 @@ TaskId Runtime::submit_impl(std::string name, std::vector<Region> regions,
 
   task->regions = std::move(regions);
   ++stats_.tasks_submitted;
+  m_tasks_.add(1);
   ++pending_;
   Task& ref = *task;
   tasks_.emplace(id, std::move(task));
@@ -134,6 +140,7 @@ void Runtime::add_edge(Task& from, Task& to) {
   from.successors.push_back(to.id);
   ++to.unmet_deps;
   ++stats_.dependency_edges;
+  m_edges_.add(1);
 }
 
 void Runtime::make_ready(Task& task) {
@@ -162,6 +169,7 @@ void Runtime::run_task(sim::Context& ctx, Task& task, bool on_worker) {
   if (auto* tracer = ctx.engine().tracer()) {
     tracer->span(ctx.process().name(), task.name, begin, ctx.now(), "task");
   }
+  m_task_ns_.record((ctx.now() - begin).ps / 1000);
   --running_now_;
   on_task_done(task);
 }

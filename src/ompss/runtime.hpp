@@ -113,6 +113,10 @@ class Runtime {
   std::deque<TaskId> ready_external_;  // for the master (taskwait)
   std::vector<RegionState> region_states_;
   RuntimeStats stats_;
+  // Metrics handles (null without a registry; see docs/observability.md).
+  obs::Counter m_tasks_;
+  obs::Counter m_edges_;
+  obs::Histogram m_task_ns_;
   TaskId next_id_ = 1;
   std::int64_t pending_ = 0;  // submitted but not completed
   int running_now_ = 0;

@@ -41,6 +41,7 @@ void Process::fiber_entry(void* arg) {
 void Process::run_slice() {
   DEEP_ASSERT(state_ == State::Runnable, "run_slice: process not runnable");
   resume_scheduled_ = false;
+  engine_.m_fiber_switches_.add(1);
   Fiber::switch_to(engine_.sched_fiber_, fiber_);
   if (state_ == State::Finished && fiber_.created())
     engine_.stack_pool_.release(fiber_.take_stack());
@@ -108,6 +109,21 @@ void Engine::schedule_process(TimePoint t, EventKind kind, Process& p) {
   queue_.push(t, next_seq_++, kind, &p, EventFn{});
 }
 
+void Engine::set_metrics(obs::Registry* metrics) {
+  metrics_ = metrics;
+  if (metrics_) {
+    m_events_ = metrics_->counter("sim.events");
+    m_fiber_switches_ = metrics_->counter("sim.fiber_switches");
+    m_stale_resumes_ = metrics_->counter("sim.stale_resumes");
+    m_queue_depth_ = metrics_->gauge("sim.queue_depth");
+  } else {
+    m_events_ = {};
+    m_fiber_switches_ = {};
+    m_stale_resumes_ = {};
+    m_queue_depth_ = {};
+  }
+}
+
 void Engine::set_fiber_stack_size(std::size_t bytes) {
   DEEP_EXPECT(processes_.empty(),
               "Engine::set_fiber_stack_size: must be called before spawn");
@@ -136,6 +152,12 @@ void Engine::dispatch_one() {
   EventQueue::Dispatched ev = queue_.pop();
   now_ = ev.t;
   ++events_executed_;
+  m_events_.add(1);
+  // Queue depth is sampled every 64th event: a gauge store per dispatch is
+  // measurable on the cheapest fabric paths, and the decimation stays
+  // deterministic because the event count is itself part of the replay.
+  if ((events_executed_ & 63) == 0)
+    m_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   switch (ev.kind) {
     case EventKind::Callback:
       ev.fn();
@@ -151,6 +173,7 @@ void Engine::dispatch_one() {
         // The process got resumed through another path before this event
         // fired; the latched wake_pending_ covers the notification.
         ev.proc->resume_scheduled_ = false;
+        m_stale_resumes_.add(1);
       }
       break;
     case EventKind::SleepExpiry:
@@ -158,6 +181,8 @@ void Engine::dispatch_one() {
       if (ev.proc->state_ == Process::State::Sleeping) {
         ev.proc->state_ = Process::State::Runnable;
         ev.proc->run_slice();
+      } else {
+        m_stale_resumes_.add(1);
       }
       break;
   }

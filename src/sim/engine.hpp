@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/event.hpp"
 #include "sim/fiber.hpp"
 #include "sim/time.hpp"
@@ -206,6 +207,13 @@ class Engine {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Attaches (or detaches, with nullptr) a metrics registry.  The engine
+  /// does not own it.  Attach *before* constructing the instrumented layers:
+  /// they register their handles at construction time and a layer built
+  /// against a detached engine records nothing (same contract as Tracer).
+  void set_metrics(obs::Registry* metrics);
+  obs::Registry* metrics() const { return metrics_; }
+
  private:
   friend class Process;
   friend class Context;
@@ -228,6 +236,11 @@ class Engine {
   std::size_t events_executed_ = 0;
   bool running_ = false;
   Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter m_events_;          // sim.events
+  obs::Counter m_fiber_switches_;  // sim.fiber_switches (process slices run)
+  obs::Counter m_stale_resumes_;   // sim.stale_resumes (dropped stale events)
+  obs::Gauge m_queue_depth_;       // sim.queue_depth (every 64th dispatch)
 };
 
 inline TimePoint Context::now() const { return engine_->now(); }

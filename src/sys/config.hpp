@@ -20,6 +20,14 @@ enum class AllocPolicy {
   StaticPartition,  // pool pre-divided into fixed partitions per consumer
 };
 
+/// Observability (docs/observability.md): when enabled, DeepSystem owns an
+/// obs::Registry and attaches it to the engine before building any layer, so
+/// every subsystem registers its instruments.  Off by default — detached
+/// handles cost one dead branch per record site.
+struct MetricsParams {
+  bool enabled = false;
+};
+
 struct SystemConfig {
   int cluster_nodes = 8;
   int booster_nodes = 16;
@@ -33,6 +41,7 @@ struct SystemConfig {
   net::TorusParams extoll;  // dims auto-derived when left {0,0,0}
   cbp::BridgeParams bridge;
   mpi::MpiParams mpi;
+  MetricsParams metrics;
 
   /// Fault injection (RAS testing): applied to both fabrics and the CBP
   /// gateways.  The all-defaults spec is inactive and installs nothing.

@@ -80,6 +80,11 @@ std::string format_report(DeepSystem& system) {
   os << e.to_pretty();
   os << "work: " << energy.total_flops / 1e9 << " GFlop ("
      << energy.gflops_per_watt() << " GFlop/W)\n";
+
+  if (auto* metrics = system.metrics()) {
+    os << "\n--- metrics (" << metrics->size() << " instruments) ---\n";
+    os << metrics->to_csv_table().to_pretty();
+  }
   return os.str();
 }
 

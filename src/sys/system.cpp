@@ -53,6 +53,13 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   DEEP_EXPECT(config_.booster_nodes >= 1, "DeepSystem: need booster nodes");
   DEEP_EXPECT(config_.gateways >= 1, "DeepSystem: need at least one gateway");
 
+  if (config_.metrics.enabled) {
+    // Attach before any layer exists: fabrics, bridge, MPI and the engine
+    // itself register their instruments in their constructors.
+    metrics_ = std::make_unique<obs::Registry>();
+    engine_.set_metrics(metrics_.get());
+  }
+
   net::TorusParams torus = config_.extoll;
   const int torus_capacity = torus.dims[0] * torus.dims[1] * torus.dims[2];
   if (torus.dims == std::array<int, 3>{0, 0, 0} ||

@@ -100,6 +100,8 @@ class DeepSystem {
   mpi::MpiSystem& mpi_system() { return *mpi_; }
   /// The armed fault plan, or nullptr when config().faults is inactive.
   net::FaultPlan* fault_plan() { return fault_plan_.get(); }
+  /// The metrics registry, or nullptr when config().metrics is disabled.
+  obs::Registry* metrics() { return metrics_.get(); }
 
   hw::Node& cluster_node(int i);
   hw::Node& booster_node(int i);
@@ -128,6 +130,9 @@ class DeepSystem {
                           mpi::EpAddr ready_to);
 
   SystemConfig config_;
+  // Declared before the engine and fabrics: layers register instrument
+  // handles at construction time and record through them until destruction.
+  std::unique_ptr<obs::Registry> metrics_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;  // indexed by NodeId
   std::vector<hw::NodeId> cluster_ids_;

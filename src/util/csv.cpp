@@ -61,14 +61,33 @@ std::string Table::cell_str(const Cell& cell) {
   return buf;
 }
 
+namespace {
+
+/// RFC 4180 field quoting: fields containing the separator, quotes or line
+/// breaks are wrapped in double quotes, with embedded quotes doubled.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string Table::to_csv() const {
   std::ostringstream os;
   for (std::size_t c = 0; c < columns_.size(); ++c)
-    os << (c ? "," : "") << columns_[c];
+    os << (c ? "," : "") << csv_field(columns_[c]);
   os << '\n';
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c)
-      os << (c ? "," : "") << cell_str(row[c]);
+      os << (c ? "," : "") << csv_field(cell_str(row[c]));
     os << '\n';
   }
   return os.str();

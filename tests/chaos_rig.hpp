@@ -50,11 +50,12 @@ struct ChaosOutcome {
   std::int64_t messages_lost = 0;  // losses surfaced to the MPI layer
   std::int64_t final_ps = 0;       // virtual time when the run ended
   std::string trace;               // Chrome trace JSON of the whole run
+  std::string metrics;             // registry JSON (when run with metrics)
 
   /// One comparable string: trace bytes + every scalar.  Equal fingerprints
   /// mean the two runs were indistinguishable.
   std::string fingerprint() const {
-    return trace + "|" + std::to_string(completed) + "," +
+    return trace + "|" + metrics + "|" + std::to_string(completed) + "," +
            std::to_string(deadlocked) + "," + std::to_string(mpi_errors) +
            "," + std::to_string(fabric_drops) + "," +
            std::to_string(injected_drops) + "," +
@@ -119,9 +120,12 @@ inline net::FaultSpec make_chaos_spec(std::uint64_t seed,
 /// never as a hang, because gateway retries are bounded and every loss
 /// error-completes the requests that depended on it.
 inline ChaosOutcome run_chaos(const ChaosConfig& cfg,
-                              const net::FaultSpec& spec) {
+                              const net::FaultSpec& spec,
+                              bool with_metrics = false) {
+  obs::Registry registry;
   BridgedMpiRig rig(cfg.cluster_ranks, cfg.booster_ranks, cfg.gateways,
-                    cfg.policy, {}, cfg.bridge);
+                    cfg.policy, {}, cfg.bridge,
+                    with_metrics ? &registry : nullptr);
   sim::Tracer tracer;
   rig.engine().set_tracer(&tracer);
 
@@ -186,6 +190,7 @@ inline ChaosOutcome run_chaos(const ChaosConfig& cfg,
   out.messages_lost = rig.system().messages_lost();
   out.final_ps = rig.engine().now().ps;
   out.trace = tracer.to_chrome_json();
+  if (with_metrics) out.metrics = registry.to_json();
   return out;
 }
 

@@ -14,9 +14,19 @@
 #include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
 #include "net/torus.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace deep::testing {
+
+/// Member-initialisation shim: attaches a metrics registry to the engine
+/// BEFORE the rig's fabrics construct (they register their instruments in
+/// their constructors).  Declare it between the engine and the fabrics.
+struct MetricsHook {
+  MetricsHook(sim::Engine& engine, obs::Registry* metrics) {
+    if (metrics != nullptr) engine.set_metrics(metrics);
+  }
+};
 
 /// N ranks, one per cluster node, over a plain InfiniBand crossbar.
 class MpiRig {
@@ -139,8 +149,10 @@ class BridgedMpiRig {
  public:
   BridgedMpiRig(int cluster_ranks, int booster_ranks, int gateways,
                 cbp::GatewayPolicy policy = cbp::GatewayPolicy::ByPair,
-                mpi::MpiParams params = {}, cbp::BridgeParams bridge_params = {})
-      : ib_(engine_, "ib", {}),
+                mpi::MpiParams params = {}, cbp::BridgeParams bridge_params = {},
+                obs::Registry* metrics = nullptr)
+      : metrics_hook_(engine_, metrics),
+        ib_(engine_, "ib", {}),
         extoll_(engine_, "extoll",
                 [] {
                   net::TorusParams p;
@@ -211,6 +223,7 @@ class BridgedMpiRig {
 
  private:
   sim::Engine engine_;
+  MetricsHook metrics_hook_;
   net::CrossbarFabric ib_;
   net::TorusFabric extoll_;
   cbp::BridgedTransport bridge_;

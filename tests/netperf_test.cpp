@@ -20,12 +20,14 @@
 #include "net/crossbar.hpp"
 #include "net/pool.hpp"
 #include "net/torus.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/error.hpp"
 
 namespace dc = deep::cbp;
 namespace dm = deep::mpi;
 namespace dn = deep::net;
+namespace dob = deep::obs;
 namespace ds = deep::sim;
 
 // ---------------------------------------------------------------------------
@@ -249,8 +251,15 @@ dn::Message raw_message(deep::hw::NodeId src, deep::hw::NodeId dst) {
   return m;
 }
 
-TEST(ZeroAllocation, WarmTorusSendPathDoesNotAllocate) {
+// Each proof runs twice: bare, and with an obs::Registry attached to the
+// engine.  Metric recording is pointer-chase + integer adds into cells the
+// registry allocated at registration time, so it must not cost the hot path
+// a single heap allocation either.
+
+void expect_warm_torus_path_alloc_free(bool with_metrics) {
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::TorusParams p;
   p.dims = {4, 4, 4};
   dn::TorusFabric fabric(eng, "t", p);
@@ -268,12 +277,27 @@ TEST(ZeroAllocation, WarmTorusSendPathDoesNotAllocate) {
   const std::size_t allocs_before = g_allocs;
   traffic();  // measured: header in place, payload/slots/events all pooled
   EXPECT_EQ(g_allocs, allocs_before)
-      << "steady-state torus send path allocated";
+      << "steady-state torus send path allocated"
+      << (with_metrics ? " (with metrics attached)" : "");
   EXPECT_GT(sink, 0);
+  if (with_metrics) {
+    EXPECT_GT(reg.value("net.t.messages"), 0)
+        << "registry was attached but recorded nothing";
+  }
 }
 
-TEST(ZeroAllocation, WarmCrossbarSendPathDoesNotAllocate) {
+TEST(ZeroAllocation, WarmTorusSendPathDoesNotAllocate) {
+  expect_warm_torus_path_alloc_free(/*with_metrics=*/false);
+}
+
+TEST(ZeroAllocation, WarmTorusSendPathWithMetricsDoesNotAllocate) {
+  expect_warm_torus_path_alloc_free(/*with_metrics=*/true);
+}
+
+void expect_warm_crossbar_path_alloc_free(bool with_metrics) {
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::CrossbarFabric ib(eng, "ib", {});
   for (int i = 0; i < 16; ++i)
     ib.attach(i).bind(dn::Port::Raw, [](dn::Message&&) {});
@@ -287,11 +311,25 @@ TEST(ZeroAllocation, WarmCrossbarSendPathDoesNotAllocate) {
   const std::size_t allocs_before = g_allocs;
   traffic();
   EXPECT_EQ(g_allocs, allocs_before)
-      << "steady-state crossbar send path allocated";
+      << "steady-state crossbar send path allocated"
+      << (with_metrics ? " (with metrics attached)" : "");
+  if (with_metrics) {
+    EXPECT_GT(reg.value("net.ib.messages"), 0);
+  }
 }
 
-TEST(ZeroAllocation, WarmCbpBridgePathDoesNotAllocate) {
+TEST(ZeroAllocation, WarmCrossbarSendPathDoesNotAllocate) {
+  expect_warm_crossbar_path_alloc_free(/*with_metrics=*/false);
+}
+
+TEST(ZeroAllocation, WarmCrossbarSendPathWithMetricsDoesNotAllocate) {
+  expect_warm_crossbar_path_alloc_free(/*with_metrics=*/true);
+}
+
+void expect_warm_cbp_path_alloc_free(bool with_metrics) {
   ds::Engine eng;
+  dob::Registry reg;
+  if (with_metrics) eng.set_metrics(&reg);
   dn::CrossbarFabric ib(eng, "ib", {});
   dn::TorusParams tp;
   tp.dims = {4, 2, 1};
@@ -319,7 +357,19 @@ TEST(ZeroAllocation, WarmCbpBridgePathDoesNotAllocate) {
   const std::size_t allocs_before = g_allocs;
   traffic();
   EXPECT_EQ(g_allocs, allocs_before)
-      << "steady-state CBP bridge path allocated";
+      << "steady-state CBP bridge path allocated"
+      << (with_metrics ? " (with metrics attached)" : "");
+  if (with_metrics) {
+    EXPECT_GT(reg.value("cbp.forwarded"), 0);
+  }
+}
+
+TEST(ZeroAllocation, WarmCbpBridgePathDoesNotAllocate) {
+  expect_warm_cbp_path_alloc_free(/*with_metrics=*/false);
+}
+
+TEST(ZeroAllocation, WarmCbpBridgePathWithMetricsDoesNotAllocate) {
+  expect_warm_cbp_path_alloc_free(/*with_metrics=*/true);
 }
 
 }  // namespace

@@ -1,0 +1,269 @@
+// Unit tests for deep::obs — histogram bucket edges, integer percentiles,
+// merge, registry idempotence and the snapshot exporters.  The determinism
+// property suite (metrics_test.cpp) builds on the guarantees pinned here.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace dob = deep::obs;
+namespace ds = deep::sim;
+namespace du = deep::util;
+
+using Cell = dob::HistogramCell;
+
+TEST(HistogramBuckets, ZeroAndNegativeLandInBucketZero) {
+  EXPECT_EQ(Cell::bucket_of(0), 0);
+  EXPECT_EQ(Cell::bucket_of(-1), 0);
+  EXPECT_EQ(Cell::bucket_of(INT64_MIN), 0);
+}
+
+TEST(HistogramBuckets, PowersOfTwoSitOnBucketBoundaries) {
+  // Bucket b holds v with bit_width(v) == b, i.e. [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Cell::bucket_of(1), 1);
+  EXPECT_EQ(Cell::bucket_of(2), 2);
+  EXPECT_EQ(Cell::bucket_of(3), 2);
+  EXPECT_EQ(Cell::bucket_of(4), 3);
+  for (int b = 1; b < Cell::kOverflowBucket; ++b) {
+    const std::int64_t lo = std::int64_t{1} << (b - 1);
+    const std::int64_t hi = (std::int64_t{1} << b) - 1;
+    EXPECT_EQ(Cell::bucket_of(lo), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(Cell::bucket_of(hi), b) << "upper edge of bucket " << b;
+  }
+}
+
+TEST(HistogramBuckets, HugeValuesOverflowIntoLastBucket) {
+  EXPECT_EQ(Cell::bucket_of(std::int64_t{1} << 62), Cell::kOverflowBucket);
+  EXPECT_EQ(Cell::bucket_of(INT64_MAX), Cell::kOverflowBucket);
+  // Largest value below the overflow bucket:
+  EXPECT_EQ(Cell::bucket_of((std::int64_t{1} << 62) - 1),
+            Cell::kOverflowBucket - 1);
+}
+
+TEST(HistogramBuckets, BucketUpperMatchesBucketOf) {
+  EXPECT_EQ(Cell::bucket_upper(0), 0);
+  EXPECT_EQ(Cell::bucket_upper(1), 1);
+  EXPECT_EQ(Cell::bucket_upper(2), 3);
+  EXPECT_EQ(Cell::bucket_upper(Cell::kOverflowBucket), INT64_MAX);
+  for (int b = 1; b < Cell::kOverflowBucket; ++b)
+    EXPECT_EQ(Cell::bucket_of(Cell::bucket_upper(b)), b);
+}
+
+TEST(HistogramCell, RecordTracksExactScalars) {
+  Cell h;
+  h.record(7);
+  h.record(100);
+  h.record(3);
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum, 110);
+  EXPECT_EQ(h.min, 3);
+  EXPECT_EQ(h.max, 100);
+}
+
+TEST(HistogramCell, EmptyHistogramReportsZeros) {
+  Cell h;
+  EXPECT_EQ(h.count, 0);
+  EXPECT_EQ(h.value_at_percentile(50), 0);
+  EXPECT_EQ(h.value_at_percentile(99), 0);
+}
+
+TEST(HistogramCell, SingleSamplePercentilesAreThatSample) {
+  Cell h;
+  h.record(37);
+  // p-anything resolves to bucket 6's upper edge clamped to the exact max.
+  EXPECT_EQ(h.value_at_percentile(0), 37);
+  EXPECT_EQ(h.value_at_percentile(50), 37);
+  EXPECT_EQ(h.value_at_percentile(100), 37);
+}
+
+TEST(HistogramCell, PercentilesWalkBucketsInOrder) {
+  Cell h;
+  // 90 small samples in bucket 3 (values 4..7), 10 large in bucket 10.
+  for (int i = 0; i < 90; ++i) h.record(5);
+  for (int i = 0; i < 10; ++i) h.record(600);
+  EXPECT_EQ(h.value_at_percentile(50), Cell::bucket_upper(3));  // 7
+  EXPECT_EQ(h.value_at_percentile(90), Cell::bucket_upper(3));
+  EXPECT_EQ(h.value_at_percentile(99), 600);  // clamped to observed max
+  EXPECT_EQ(h.value_at_percentile(100), 600);
+}
+
+TEST(HistogramCell, MergeCombinesCountsAndExtremes) {
+  Cell a, b;
+  a.record(10);
+  a.record(20);
+  b.record(1);
+  b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4);
+  EXPECT_EQ(a.sum, 5031);
+  EXPECT_EQ(a.min, 1);
+  EXPECT_EQ(a.max, 5000);
+  EXPECT_EQ(a.buckets[static_cast<std::size_t>(Cell::bucket_of(1))], 1);
+  EXPECT_EQ(a.buckets[static_cast<std::size_t>(Cell::bucket_of(5000))], 1);
+}
+
+TEST(HistogramCell, MergeFromEmptyIsIdentity) {
+  Cell a, empty;
+  a.record(42);
+  a.merge(empty);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(a.min, 42);
+  EXPECT_EQ(a.max, 42);
+
+  Cell fresh;
+  fresh.merge(a);  // merging into an empty cell adopts the extremes
+  EXPECT_EQ(fresh.min, 42);
+  EXPECT_EQ(fresh.max, 42);
+}
+
+// --- handles -------------------------------------------------------------
+
+TEST(Handles, DetachedHandlesAreInertNoOps) {
+  dob::Counter c;
+  dob::Gauge g;
+  dob::Histogram h;
+  EXPECT_FALSE(c.attached());
+  EXPECT_FALSE(g.attached());
+  EXPECT_FALSE(h.attached());
+  c.add(5);  // must not crash
+  c.inc();
+  g.set(9);
+  h.record(123);
+  h.merge_from(h);
+  EXPECT_EQ(h.cell(), nullptr);
+}
+
+TEST(Handles, AttachedHandlesMutateRegistryCells) {
+  dob::Registry reg;
+  auto c = reg.counter("c");
+  auto g = reg.gauge("g");
+  auto h = reg.histogram("h");
+  c.add(3);
+  c.inc();
+  g.set(10);
+  g.set(4);  // peak stays at 10
+  h.record(8);
+  EXPECT_EQ(reg.value("c"), 4);
+  EXPECT_EQ(reg.value("g"), 4);
+  EXPECT_EQ(reg.value("h"), 1);  // histogram primary value is its count
+  ASSERT_NE(h.cell(), nullptr);
+  EXPECT_EQ(h.cell()->sum, 8);
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(Registry, ReRegistrationReturnsTheSameCell) {
+  dob::Registry reg;
+  auto a = reg.counter("shared");
+  auto b = reg.counter("shared");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(reg.value("shared"), 5);
+  EXPECT_EQ(reg.size(), 1u);
+
+  auto h1 = reg.histogram("lat");
+  auto h2 = reg.histogram("lat");
+  EXPECT_EQ(h1.cell(), h2.cell());
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, KindMismatchIsAUsageError) {
+  dob::Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), du::UsageError);
+  EXPECT_THROW(reg.histogram("x"), du::UsageError);
+  EXPECT_THROW(reg.counter(""), du::UsageError);
+}
+
+TEST(Registry, ValueOfUnknownNameIsZero) {
+  dob::Registry reg;
+  EXPECT_EQ(reg.value("nope"), 0);
+}
+
+TEST(Registry, JsonListsEntriesInRegistrationOrder) {
+  dob::Registry reg;
+  reg.counter("b.second").add(2);
+  reg.gauge("a.first").set(7);
+  reg.histogram("z.hist").record(5);
+  const std::string json = reg.to_json();
+  const auto pos_b = json.find("b.second");
+  const auto pos_a = json.find("a.first");
+  const auto pos_z = json.find("z.hist");
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_z, std::string::npos);
+  EXPECT_LT(pos_b, pos_a);  // registration order, not lexicographic
+  EXPECT_LT(pos_a, pos_z);
+  EXPECT_NE(json.find("\"kind\":\"counter\",\"value\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7,\"peak\":7"), std::string::npos);
+  // Sparse buckets: exactly one occupied bucket, [3,1] (bit_width(5)==3).
+  EXPECT_NE(json.find("\"buckets\":[[3,1]]"), std::string::npos);
+}
+
+TEST(Registry, JsonSnapshotsAreByteStable) {
+  const auto build = [] {
+    dob::Registry reg;
+    reg.counter("events").add(1234);
+    auto h = reg.histogram("lat");
+    for (int i = 1; i <= 100; ++i) h.record(i * i);
+    reg.gauge("depth").set(17);
+    return reg.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Registry, CsvTableUsesLongFormat) {
+  dob::Registry reg;
+  reg.counter("msgs").add(9);
+  auto h = reg.histogram("lat");
+  h.record(100);
+  h.record(300);
+  const du::Table t = reg.to_csv_table();
+  ASSERT_EQ(t.columns().size(), 3u);
+  EXPECT_EQ(t.columns()[0], "metric");
+  // counter: 1 row; histogram: count,sum,min,p50,p90,p99,max = 7 rows.
+  EXPECT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "msgs");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 2)), 9);
+  EXPECT_EQ(std::get<std::string>(t.at(1, 1)), "count");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(1, 2)), 2);
+}
+
+TEST(Registry, SampleColumnsAndRowsLineUp) {
+  dob::Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2);
+  reg.histogram("h").record(99);
+  const auto cols = reg.sample_columns();
+  // time_ps + counter + gauge(value,peak) + histogram(count,sum,p50,p99,max)
+  ASSERT_EQ(cols.size(), 1u + 1u + 2u + 5u);
+  EXPECT_EQ(cols[0], "time_ps");
+  EXPECT_EQ(cols[1], "c");
+  EXPECT_EQ(cols[3], "g.peak");
+  EXPECT_EQ(cols.back(), "h.max");
+
+  du::Table t(cols);
+  reg.append_sample(t, ds::TimePoint{1000});
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 0)), 1000);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 1)), 5);
+}
+
+TEST(Registry, SampleRowTruncatesWhenRegistryGrewMidRun) {
+  dob::Registry reg;
+  reg.counter("early").add(1);
+  du::Table t(reg.sample_columns());  // columns fixed now: time_ps + early
+  reg.counter("late.arrival").add(7);  // registers after the table was made
+  reg.append_sample(t, ds::TimePoint{5});
+  // The row must stop at the table's width — no ragged rows.
+  ASSERT_EQ(t.columns().size(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 0)), 5);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 1)), 1);
+  EXPECT_NE(t.to_csv().find("time_ps,early\n5,1\n"), std::string::npos);
+}

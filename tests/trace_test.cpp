@@ -102,6 +102,28 @@ TEST(Tracer, MessagesTracedOnWire) {
   EXPECT_NE(json.find("ib wire"), std::string::npos);
 }
 
+TEST(Tracer, ChromeJsonMatchesGoldenFile) {
+  // Pins the exporter's exact byte layout: metadata events first (one per
+  // track, in first-use order), then events in recording order, microsecond
+  // timestamps, escaped names.  The metrics determinism suite relies on this
+  // document being a pure function of the recorded events.  To regenerate
+  // after an intentional format change, write to_chrome_json() of this exact
+  // trace into tests/golden/trace_small.json and re-review the diff.
+  ds::Tracer tracer;
+  tracer.span("cn0", "compute", ds::TimePoint{1'000'000},
+              ds::TimePoint{3'500'000}, "hw");
+  tracer.span("bn1", "task \"sweep\"", ds::TimePoint{123'456},
+              ds::TimePoint{223'456}, "ompss");
+  tracer.instant("extoll", "drop\nat hop", ds::TimePoint{2'000'000}, "net");
+  tracer.instant("cn0", "ctl\x01", ds::TimePoint{0});
+
+  std::ifstream in(std::string(DEEP_TEST_GOLDEN_DIR) + "/trace_small.json");
+  ASSERT_TRUE(in.good()) << "missing golden file tests/golden/trace_small.json";
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(tracer.to_chrome_json(), golden);
+}
+
 TEST(Tracer, WritesFile) {
   ds::Tracer tracer;
   tracer.instant("t", "e", ds::TimePoint{});

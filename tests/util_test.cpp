@@ -103,6 +103,32 @@ TEST(Table, CsvRendering) {
   EXPECT_EQ(t.to_csv(), "name,count,rate\nalpha,3,1.5\nbeta,10,0.25\n");
 }
 
+TEST(Table, CsvQuotesSeparatorsQuotesAndLineBreaks) {
+  // RFC 4180: fields with commas, quotes, LF or CR are quoted; embedded
+  // quotes are doubled.  Plain fields stay unquoted.
+  du::Table t({"metric", "note"});
+  t.row().add("a,b").add("plain");
+  t.row().add("say \"hi\"").add("line1\nline2");
+  t.row().add("cr\rhere").add("tab\tstays");  // tab is not special in CSV
+  EXPECT_EQ(t.to_csv(),
+            "metric,note\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+            "\"cr\rhere\",tab\tstays\n");
+}
+
+TEST(Table, CsvQuotesHeaderFieldsToo) {
+  du::Table t({"name, unit", "value"});
+  t.row().add("x").add(1);
+  EXPECT_EQ(t.to_csv(), "\"name, unit\",value\nx,1\n");
+}
+
+TEST(Table, CsvLeavesNumbersUnquoted) {
+  du::Table t({"i", "d"});
+  t.row().add(-7).add(2.5);
+  EXPECT_EQ(t.to_csv(), "i,d\n-7,2.5\n");
+}
+
 TEST(Table, PrettyAlignsColumns) {
   du::Table t({"a", "long_column"});
   t.row().add("x").add(1);

@@ -13,22 +13,30 @@
 //     --static-partitions  use static booster partitioning
 //     --trace FILE         write a Chrome/Perfetto trace
 //     --report             print the full system report
+//     --metrics-out FILE   write a metrics snapshot (.json or .csv)
+//     --metrics-interval US  sample metrics every US microseconds of
+//                          simulated time (turns a .csv output into a
+//                          wide time-series table)
 //     --help
 //
 // Exit code 0 on success (workload-specific verification included).
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "apps/cholesky.hpp"
 #include "apps/nbody.hpp"
 #include "apps/spmv.hpp"
 #include "apps/stencil.hpp"
+#include "obs/metrics.hpp"
 #include "ompss/offload.hpp"
 #include "sim/trace.hpp"
 #include "sys/report.hpp"
 #include "sys/system.hpp"
+#include "util/csv.hpp"
 
 namespace da = deep::apps;
 namespace dm = deep::mpi;
@@ -48,6 +56,8 @@ struct Options {
   bool static_partitions = false;
   std::string trace_file;
   bool report = false;
+  std::string metrics_file;
+  long metrics_interval_us = 0;  // 0 = final snapshot only
 };
 
 void usage() {
@@ -55,7 +65,8 @@ void usage() {
       "deepsim — simulated DEEP cluster-booster machine\n"
       "  --cluster N   --booster N   --gateways N\n"
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
-      "  --static-partitions   --trace FILE   --report   --help");
+      "  --static-partitions   --trace FILE   --report\n"
+      "  --metrics-out FILE (.json|.csv)   --metrics-interval US   --help");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -84,6 +95,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.workload = next();
     } else if (arg == "--trace") {
       opt.trace_file = next();
+    } else if (arg == "--metrics-out") {
+      opt.metrics_file = next();
+    } else if (arg == "--metrics-interval") {
+      opt.metrics_interval_us = std::atol(next());
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -95,7 +110,8 @@ bool parse(int argc, char** argv, Options& opt) {
 constexpr dm::Tag kResTag = 50;
 
 /// stencil: coupled driver (cluster) + Jacobi HSCP (booster).
-bool run_stencil(dsy::DeepSystem& system, const Options& opt) {
+bool run_stencil(dsy::DeepSystem& system, const Options& opt,
+                const std::function<void()>& drive) {
   da::StencilConfig scfg;
   scfg.nx = 256;
   scfg.rows = 64;
@@ -125,12 +141,13 @@ bool run_stencil(dsy::DeepSystem& system, const Options& opt) {
     ok = checksum > 0;
   });
   system.launch("main", 1);
-  system.run();
+  drive();
   return ok;
 }
 
 /// cholesky: offloaded OmpSs factorisation, verified.
-bool run_cholesky(dsy::DeepSystem& system, const Options& opt) {
+bool run_cholesky(dsy::DeepSystem& system, const Options& opt,
+                 const std::function<void()>& drive) {
   const int nt = 8, ts = 24;
   system.kernels().add(
       "cholesky", [nt, ts](std::span<const std::byte> in, dm::Mpi& mpi) {
@@ -166,12 +183,13 @@ bool run_cholesky(dsy::DeepSystem& system, const Options& opt) {
     ok = err < 1e-8;
   });
   system.launch("main", 1);
-  system.run();
+  drive();
   return ok;
 }
 
 /// nbody: spawned compute-bound HSCP, momentum check.
-bool run_nbody(dsy::DeepSystem& system, const Options& opt) {
+bool run_nbody(dsy::DeepSystem& system, const Options& opt,
+              const std::function<void()>& drive) {
   da::NBodyConfig cfg;
   cfg.bodies_per_rank = 32;
   cfg.steps = opt.steps;
@@ -193,12 +211,13 @@ bool run_nbody(dsy::DeepSystem& system, const Options& opt) {
     ok = std::abs(res[0]) < 1e-9 && res[1] > 0;
   });
   system.launch("main", 1);
-  system.run();
+  drive();
   return ok;
 }
 
 /// spmv: spawned banded power iteration, Rayleigh-quotient check.
-bool run_spmv(dsy::DeepSystem& system, const Options& opt) {
+bool run_spmv(dsy::DeepSystem& system, const Options& opt,
+             const std::function<void()>& drive) {
   da::SpmvConfig cfg;
   cfg.rows_per_rank = 256;
   cfg.iterations = std::max(2, opt.steps);
@@ -220,7 +239,7 @@ bool run_spmv(dsy::DeepSystem& system, const Options& opt) {
     ok = res[0] > 0;
   });
   system.launch("main", 1);
-  system.run();
+  drive();
   return ok;
 }
 
@@ -237,6 +256,8 @@ int main(int argc, char** argv) {
   config.cluster_nodes = opt.cluster;
   config.booster_nodes = opt.booster;
   config.gateways = opt.gateways;
+  config.metrics.enabled =
+      !opt.metrics_file.empty() || opt.metrics_interval_us > 0;
   if (opt.static_partitions)
     config.alloc_policy = dsy::AllocPolicy::StaticPartition;
   dsy::DeepSystem system(config);
@@ -244,16 +265,38 @@ int main(int argc, char** argv) {
   ds::Tracer tracer;
   if (!opt.trace_file.empty()) system.engine().set_tracer(&tracer);
 
+  // Periodic sampling cannot self-reschedule engine events (the queue would
+  // never drain and run() would not terminate), so the workloads call this
+  // driver instead of system.run(): it steps the engine one interval at a
+  // time and snapshots the registry between steps.
+  deep::util::Table samples(
+      opt.metrics_interval_us > 0 && system.metrics() != nullptr
+          ? system.metrics()->sample_columns()
+          : std::vector<std::string>{"time_ps"});
+  const std::function<void()> drive = [&] {
+    if (opt.metrics_interval_us <= 0 || system.metrics() == nullptr) {
+      system.run();
+      return;
+    }
+    const ds::Duration step =
+        ds::from_micros(static_cast<double>(opt.metrics_interval_us));
+    bool more = true;
+    while (more) {
+      more = system.engine().run_until(system.engine().now() + step);
+      system.metrics()->append_sample(samples, system.engine().now());
+    }
+  };
+
   bool ok = false;
   try {
     if (opt.workload == "stencil") {
-      ok = run_stencil(system, opt);
+      ok = run_stencil(system, opt, drive);
     } else if (opt.workload == "cholesky") {
-      ok = run_cholesky(system, opt);
+      ok = run_cholesky(system, opt, drive);
     } else if (opt.workload == "nbody") {
-      ok = run_nbody(system, opt);
+      ok = run_nbody(system, opt, drive);
     } else if (opt.workload == "spmv") {
-      ok = run_spmv(system, opt);
+      ok = run_spmv(system, opt, drive);
     } else {
       std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
       usage();
@@ -271,6 +314,25 @@ int main(int argc, char** argv) {
     tracer.write_chrome_json(opt.trace_file);
     std::printf("trace written to %s (%zu events)\n", opt.trace_file.c_str(),
                 tracer.num_events());
+  }
+  if (!opt.metrics_file.empty() && system.metrics() != nullptr) {
+    std::ofstream out(opt.metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_file.c_str());
+      return 1;
+    }
+    const bool csv = opt.metrics_file.size() >= 4 &&
+                     opt.metrics_file.compare(opt.metrics_file.size() - 4, 4,
+                                              ".csv") == 0;
+    if (csv && opt.metrics_interval_us > 0) {
+      out << samples.to_csv();  // wide time series, one row per interval
+    } else if (csv) {
+      out << system.metrics()->to_csv_table().to_csv();
+    } else {
+      out << system.metrics()->to_json() << '\n';
+    }
+    std::printf("metrics written to %s (%zu instruments)\n",
+                opt.metrics_file.c_str(), system.metrics()->size());
   }
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
