@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: configure with the `ci` preset (-Werror on the deep_*
+# libraries), build everything, run the tier-1 suite.  Also handy locally:
+#
+#   scripts/ci_build.sh [Debug|Release|RelWithDebInfo] [build-dir]
+#
+# defaults: Release, build-ci.  Uses ccache automatically when present.
+set -e
+TYPE=${1:-Release}
+BUILD=${2:-build-ci}
+
+LAUNCHER=
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER=-DCMAKE_CXX_COMPILER_LAUNCHER=ccache
+fi
+
+echo "== configuring $BUILD ($TYPE, -Werror) =="
+cmake --preset ci -B "$BUILD" -DCMAKE_BUILD_TYPE="$TYPE" $LAUNCHER
+
+echo "== building =="
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD" --output-on-failure

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the parallel-engine speedup bench (4 bridged islands, workers
+# 1/2/4/8) and records results/BENCH_parallel.json.  The bench asserts that
+# the simulation outcome is identical at every worker count; the speedup
+# column is informational — it is bounded by the host's physical cores
+# (host_cpus is recorded in the JSON next to the numbers).
+#
+# Usage: scripts/run_bench_parallel.sh [build-dir] [output.json]
+#   defaults: build, results/BENCH_parallel.json
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/results/BENCH_parallel.json}"
+
+if [ ! -x "$BUILD/bench/bench_parallel" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j "$(nproc)" --target bench_parallel
+fi
+
+mkdir -p "$(dirname "$OUT")"
+"$BUILD/bench/bench_parallel" --json "$OUT" "${BENCH_ARGS:-}"
+echo "wrote $OUT"

@@ -4,9 +4,12 @@
 # workload and replays each seed twice, asserting bit-identical event traces;
 # ASan additionally checks that the retry/loss paths never touch freed
 # frames or leak them.  The perf suite (pool invariants, route-table
-# equivalence, zero-allocation checks — label: perf) and the metrics suite
-# (registry unit tests + snapshot determinism sweeps — label: metrics) ride
-# along so the pooled hot path and the observability layer are sanitised too.
+# equivalence, zero-allocation checks — label: perf), the metrics suite
+# (registry unit tests + snapshot determinism sweeps — label: metrics) and
+# the parallel suite (multi-worker conservative engine: determinism sweeps,
+# cross-partition teardown/wake edge cases — label: parallel) ride along so
+# the pooled hot path, the observability layer and the threaded engine are
+# sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -18,11 +21,12 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos_test + netperf_test + obs_test + metrics_test in $BUILD =="
-cmake --build "$BUILD" --target chaos_test netperf_test obs_test metrics_test \
+echo "== building chaos/netperf/obs/metrics/parallel tests in $BUILD =="
+cmake --build "$BUILD" \
+  --target chaos_test netperf_test obs_test metrics_test parallel_test \
   -j "$(nproc)"
 
-echo "== running chaos + perf + metrics suites (labels: chaos, perf, metrics) =="
-ctest --test-dir "$BUILD" -L 'chaos|perf|metrics' -E bench_fabric_smoke \
-  --output-on-failure "$@"
+echo "== running chaos + perf + metrics + parallel suites =="
+ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel' \
+  -E bench_fabric_smoke --output-on-failure "$@"
 echo "chaos suite passed: sweeps replayed bit-identically (traces and metric snapshots)"

@@ -1,0 +1,145 @@
+#pragma once
+// BridgeFabric: the partition-aware Cluster–Booster interface.
+//
+// The DEEP architecture couples two independent interconnects — the
+// cluster's InfiniBand-class crossbar and the booster's EXTOLL torus —
+// through a dedicated bridge.  BridgeFabric models that coupling as a
+// constant-latency, per-source-serialised pipe, and it is the one fabric
+// that may span *engine partitions* (sim::Engine::set_partitions):
+// each endpoint is registered with its home partition (attach_in) and
+// delivery is scheduled onto the destination's partition, so a partitioned
+// engine can run each island's fabric in parallel while the bridge carries
+// the cross-island traffic.  The bridge's latency is exactly the kind of
+// physical lower bound the parallel engine needs: set the engine lookahead
+// to (at most) the minimum bridge lookahead() and the conservative window
+// protocol is sound (docs/parallel_engine.md).
+//
+// Thread-safety contract (only relevant when the engine is partitioned):
+//  * attach/attach_in happen before the run (single-threaded setup);
+//  * send() runs on the source endpoint's partition: the per-source tx
+//    booking it mutates is keyed by source node, hence partition-confined;
+//  * traffic statistics go to per-lane shards merged on read;
+//  * delivery crosses partitions through Engine::schedule_on, the NIC is
+//    touched only by its destination partition.
+//
+// Fault injection (set_link_up / set_drop_fn) is NOT supported on the
+// bridge: the fault bookkeeping in the Fabric base is partition-agnostic
+// shared state.  Inject faults on the island fabrics instead.
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/lane.hpp"
+
+namespace deep::net {
+
+struct BridgeParams {
+  sim::Duration latency = sim::from_micros(2.0);  // NIC + bridge + NIC
+  double bandwidth_bytes_per_sec = 8.0e9;         // per source direction
+};
+
+class BridgeFabric final : public Fabric {
+ public:
+  BridgeFabric(sim::Engine& engine, std::string name, BridgeParams params)
+      : Fabric(engine, std::move(name)),
+        params_(params),
+        shards_(util::kMaxLanes) {
+    DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
+                "BridgeFabric: bandwidth must be positive");
+    DEEP_EXPECT(params_.latency.ps > 0,
+                "BridgeFabric: latency must be positive (it bounds the "
+                "parallel engine's lookahead)");
+  }
+
+  const BridgeParams& params() const { return params_; }
+
+  /// Every message pays at least the constant bridge latency.
+  sim::Duration lookahead() const override { return params_.latency; }
+
+  /// Attaches a node that lives on engine partition `p` (see
+  /// sim::Engine::spawn_on).  Plain attach() places the node on partition 0.
+  Nic& attach_in(hw::NodeId node, std::uint32_t p) {
+    DEEP_EXPECT(p < engine_->partitions(),
+                "BridgeFabric::attach_in: no such partition");
+    Nic& nic = Fabric::attach(node);
+    partition_of_[node] = p;
+    tx_free_.try_emplace(node);  // pre-created: send() must not mutate the map
+    return nic;
+  }
+
+  Nic& attach(hw::NodeId node) override { return attach_in(node, 0); }
+
+  std::uint32_t partition_of(hw::NodeId node) const {
+    auto it = partition_of_.find(node);
+    DEEP_EXPECT(it != partition_of_.end(),
+                "BridgeFabric::partition_of: node not attached");
+    return it->second;
+  }
+
+  void send(Message msg, Service svc) override {
+    DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
+                "BridgeFabric::send: endpoint not attached");
+    DEEP_EXPECT(msg.size_bytes >= 0, "BridgeFabric::send: negative size");
+    const sim::TimePoint now = engine_->now();
+    const sim::Duration wire = serialisation(msg.size_bytes);
+
+    sim::TimePoint deliver;
+    if (svc == Service::Control) {
+      // Priority channel: latency only, no queueing behind bulk.
+      deliver = now + params_.latency + wire;
+    } else {
+      sim::TimePoint& tx = tx_free_.at(msg.src);
+      const sim::TimePoint tx_start = std::max(now, tx);
+      tx = tx_start + wire;
+      deliver = tx_start + wire + params_.latency;
+    }
+
+    // Book into this lane's shard + the (already per-lane) metric handles.
+    FabricStats& shard = shards_[util::exec_lane()];
+    shard.messages += 1;
+    shard.bytes += msg.size_bytes;
+    shard.delivery_us.add((deliver - now).micros());
+    m_messages_.add(1);
+    m_bytes_.add(msg.size_bytes);
+    m_delivery_ns_.record((deliver - now).ps / 1000);
+    if (auto* tracer = engine_->tracer()) {
+      tracer->span(name_ + " wire",
+                   std::to_string(msg.src) + "->" + std::to_string(msg.dst) +
+                       " " + std::to_string(msg.size_bytes) + "B",
+                   now, deliver, "net");
+    }
+
+    const std::uint32_t dst_part = partition_of(msg.dst);
+    auto* nic = nics_.at(msg.dst).get();
+    engine_->schedule_on(dst_part, deliver,
+                         [nic, m = PooledMessage(std::move(msg))]() mutable {
+                           nic->deliver(m.take());
+                         });
+  }
+
+  /// Merged traffic statistics (shadowing the base accessor: the bridge
+  /// books into per-lane shards, so the merged view is computed on read).
+  FabricStats stats() const {
+    FabricStats out;
+    for (const FabricStats& shard : shards_) {
+      out.messages += shard.messages;
+      out.bytes += shard.bytes;
+      out.messages_dropped += shard.messages_dropped;
+      out.delivery_us.merge(shard.delivery_us);
+    }
+    return out;
+  }
+
+  sim::Duration serialisation(std::int64_t bytes) const {
+    return sim::from_seconds(static_cast<double>(bytes) /
+                             params_.bandwidth_bytes_per_sec);
+  }
+
+ private:
+  BridgeParams params_;
+  std::unordered_map<hw::NodeId, std::uint32_t> partition_of_;
+  std::unordered_map<hw::NodeId, sim::TimePoint> tx_free_;
+  std::vector<FabricStats> shards_;  // indexed by execution lane
+};
+
+}  // namespace deep::net

@@ -34,6 +34,10 @@ class CrossbarFabric final : public Fabric {
 
   const CrossbarParams& params() const { return params_; }
 
+  /// Every path pays at least the constant core latency (serialisation and
+  /// queueing only add to it).
+  sim::Duration lookahead() const override { return params_.latency; }
+
   void send(Message msg, Service svc) override {
     DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
                 "CrossbarFabric::send: endpoint not attached");

@@ -75,6 +75,13 @@ class Fabric {
   /// EXTOLL-like fabrics).
   virtual void send(Message msg, Service svc) = 0;
 
+  /// A conservative lower bound on the delay between injecting any message
+  /// and its delivery: every send() schedules its NIC callback no earlier
+  /// than now() + lookahead().  The parallel engine derives its safe-window
+  /// width from the minimum lookahead over all partition-crossing fabrics
+  /// (docs/parallel_engine.md).  The base fabric promises nothing.
+  virtual sim::Duration lookahead() const { return sim::Duration{0}; }
+
   const FabricStats& stats() const { return stats_; }
 
   // -- fault injection --------------------------------------------------------

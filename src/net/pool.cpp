@@ -1,6 +1,9 @@
 #include "net/pool.hpp"
 
+#include <array>
+
 #include "net/message.hpp"
+#include "util/lane.hpp"
 
 namespace deep::net {
 
@@ -9,11 +12,31 @@ namespace deep::net {
 // destruction order would have one pool's destructor call into the other's
 // already-destroyed instance.  LeakSanitizer treats memory reachable from a
 // static as "still reachable", not a leak.
+//
+// One pool per execution lane.  The lane discipline (one thread drives a
+// lane at a time — util/lane.hpp) makes each pool's free list effectively
+// single-threaded; the CAS below only guards first-use creation so that even
+// a caller violating the discipline cannot corrupt the slot table.
 
-BufferPool& BufferPool::instance() {
-  static auto* pool = new BufferPool();
+namespace {
+
+template <typename PoolT>
+PoolT& lane_pool() {
+  static std::array<std::atomic<PoolT*>, util::kMaxLanes> slots{};
+  std::atomic<PoolT*>& slot = slots[util::exec_lane()];
+  PoolT* pool = slot.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    auto* fresh = new PoolT();
+    if (slot.compare_exchange_strong(pool, fresh, std::memory_order_acq_rel))
+      return *fresh;
+    delete fresh;  // lost a (contract-violating) race; use the winner
+  }
   return *pool;
 }
+
+}  // namespace
+
+BufferPool& BufferPool::instance() { return lane_pool<BufferPool>(); }
 
 detail::Buffer* BufferPool::acquire(std::size_t size) {
   detail::Buffer* buf;
@@ -28,21 +51,20 @@ detail::Buffer* BufferPool::acquire(std::size_t size) {
   }
   buf->bytes.resize(size);  // shrinking keeps capacity; growing is the only
                             // allocation a warm pool ever performs
-  buf->refs = 1;
+  buf->refs.store(1, std::memory_order_relaxed);
   return buf;
 }
 
 void BufferPool::release(detail::Buffer* buffer) {
-  if (--buffer->refs > 0) return;
+  if (buffer->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Joins this lane's free list even if another lane's acquire() created the
+  // node: nodes live forever, so pools may adopt each other's buffers.
   buffer->next_free = free_head_;
   free_head_ = buffer;
   ++free_count_;
 }
 
-MessagePool& MessagePool::instance() {
-  static auto* pool = new MessagePool();
-  return *pool;
-}
+MessagePool& MessagePool::instance() { return lane_pool<MessagePool>(); }
 
 Message* MessagePool::acquire() {
   if (!free_.empty()) {

@@ -1,8 +1,16 @@
 #pragma once
 // Slab-style pooling for the per-message hot path (docs/perf.md).
 //
-// Three cooperating pieces, all free-list based and all process-wide (the
-// simulation is strictly single-threaded, so no locking anywhere):
+// Three cooperating pieces, all free-list based and all per-execution-lane
+// (util/lane.hpp).  A serial simulation runs entirely on lane 0 and sees the
+// exact historical single-pool behaviour; under the parallel engine each
+// partition executes on its own lane, `instance()` resolves to that lane's
+// pool, and free-list operations stay lock-free because a lane is only ever
+// driven by one thread at a time (docs/parallel_engine.md).  The only shared
+// mutable state is the payload refcount, which is atomic so a payload handed
+// across partitions can be retained/released from its new home lane; the
+// freed node simply joins the releasing lane's free list (nodes are never
+// destroyed, so migrating between lane pools is harmless).
 //
 //  * BufferPool + Payload — reference-counted, pool-backed payload bytes.
 //    Payload replaces the old shared_ptr<const vector<byte>>: same call-site
@@ -28,6 +36,7 @@
 //  * releasing resets payload references so pooled slots never pin buffers;
 //  * pools only grow to the high-water mark of in-flight objects.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -42,9 +51,13 @@ struct Message;
 namespace detail {
 
 /// One pooled payload buffer: bytes + intrusive refcount + free-list link.
+/// The refcount is atomic because Payload handles may be copied on one
+/// execution lane and dropped on another after crossing a partition bridge;
+/// everything else is only touched by the lane whose free list holds the
+/// node.
 struct Buffer {
   std::vector<std::byte> bytes;
-  std::int32_t refs = 0;
+  std::atomic<std::int32_t> refs{0};
   Buffer* next_free = nullptr;
 };
 
@@ -55,6 +68,8 @@ struct Buffer {
 /// working set has been seen once.
 class BufferPool {
  public:
+  /// The current execution lane's pool (lane 0 — the historical process-wide
+  /// singleton — for serial runs and threads outside the parallel engine).
   static BufferPool& instance();
 
   /// A buffer with refs == 1 and bytes.size() == size (capacity reused).
@@ -77,14 +92,14 @@ class Payload {
  public:
   Payload() = default;
   Payload(const Payload& o) : buf_(o.buf_) {
-    if (buf_ != nullptr) ++buf_->refs;
+    if (buf_ != nullptr) buf_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   Payload(Payload&& o) noexcept : buf_(o.buf_) { o.buf_ = nullptr; }
   Payload& operator=(const Payload& o) {
     if (this != &o) {
       reset();
       buf_ = o.buf_;
-      if (buf_ != nullptr) ++buf_->refs;
+      if (buf_ != nullptr) buf_->refs.fetch_add(1, std::memory_order_relaxed);
     }
     return *this;
   }
@@ -138,6 +153,7 @@ inline Payload make_payload(std::vector<std::byte> bytes) {
 /// events; see PooledMessage.
 class MessagePool {
  public:
+  /// The current execution lane's pool (see BufferPool::instance).
   static MessagePool& instance();
 
   Message* acquire();
@@ -226,7 +242,10 @@ class PoolAllocator {
   static std::vector<void*>& free_list() {
     // Never destroyed: parked blocks must stay reachable through the list at
     // exit, or leak checkers would (rightly) report them as lost.
-    static auto* fl = new std::vector<void*>();
+    // thread_local so MPI layers on different parallel-engine workers never
+    // contend (a block allocated on one thread may be freed on another, but
+    // blocks are type-erased raw storage, so adoption is harmless).
+    static thread_local auto* fl = new std::vector<void*>();
     return *fl;
   }
 };

@@ -60,6 +60,16 @@ class TorusFabric final : public Fabric {
 
   const TorusParams& params() const { return params_; }
 
+  /// Cheapest possible delivery: the faster engine's setup overhead plus the
+  /// two unavoidable hops (injection and ejection link traversal).  Queueing,
+  /// route hops, serialisation and retransmission only add to this.
+  sim::Duration lookahead() const override {
+    const sim::Duration engine_min =
+        params_.velo_injection < params_.rma_setup ? params_.velo_injection
+                                                   : params_.rma_setup;
+    return engine_min + params_.hop_latency * 2;
+  }
+
   /// Attaches the node at the next free coordinate (lexicographic order).
   Nic& attach(hw::NodeId node) override;
   /// Attaches the node at an explicit coordinate.

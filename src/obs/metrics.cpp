@@ -22,44 +22,93 @@ const char* kind_name(int kind) {
 
 }  // namespace
 
+const Registry::Entry* Registry::find(std::string_view name) const {
+  // Linear scan: registration and by-name reads are cold paths and the
+  // registry holds at most a few hundred instruments.
+  for (const Entry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
 Registry::Entry& Registry::get_or_create(std::string_view name, Kind kind) {
   DEEP_EXPECT(!name.empty(), "Registry: empty metric name");
-  auto it = index_.find(name);
-  if (it != index_.end()) {
-    DEEP_EXPECT(it->second->kind == kind,
+  if (const Entry* found = find(name)) {
+    DEEP_EXPECT(found->kind == kind,
                 "Registry: '" + std::string(name) + "' already registered as " +
-                    kind_name(static_cast<int>(it->second->kind)));
-    return *it->second;
+                    kind_name(static_cast<int>(found->kind)));
+    return const_cast<Entry&>(*found);
   }
-  entries_.push_back(Entry{std::string(name), kind, {}, {}, {}});
-  Entry& entry = entries_.back();
-  index_.emplace(entry.name, &entry);
-  return entry;
+  std::uint32_t slot = 0;
+  switch (kind) {
+    case Kind::Counter:
+      slot = static_cast<std::uint32_t>(lanes_[0]->counters.size());
+      for (auto& lane : lanes_) lane->counters.emplace_back();
+      break;
+    case Kind::Gauge:
+      slot = static_cast<std::uint32_t>(lanes_[0]->gauges.size());
+      for (auto& lane : lanes_) lane->gauges.emplace_back();
+      break;
+    case Kind::Histogram:
+      slot = static_cast<std::uint32_t>(lanes_[0]->hists.size());
+      for (auto& lane : lanes_) lane->hists.emplace_back();
+      break;
+  }
+  entries_.push_back(Entry{std::string(name), kind, slot});
+  return entries_.back();
 }
 
 Counter Registry::counter(std::string_view name) {
-  return Counter(&get_or_create(name, Kind::Counter).counter);
+  return Counter(this, get_or_create(name, Kind::Counter).slot);
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  return Gauge(&get_or_create(name, Kind::Gauge).gauge);
+  return Gauge(this, get_or_create(name, Kind::Gauge).slot);
 }
 
 Histogram Registry::histogram(std::string_view name) {
-  return Histogram(&get_or_create(name, Kind::Histogram).hist);
+  return Histogram(this, get_or_create(name, Kind::Histogram).slot);
+}
+
+void Registry::ensure_lanes(std::uint32_t n) {
+  DEEP_EXPECT(n <= util::kMaxLanes, "Registry: lane count exceeds kMaxLanes");
+  while (lanes_.size() < n) {
+    auto lane = std::make_unique<Lane>();
+    lane->counters.resize(lanes_[0]->counters.size());
+    lane->gauges.resize(lanes_[0]->gauges.size());
+    lane->hists.resize(lanes_[0]->hists.size());
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+std::int64_t Registry::merged_counter(std::uint32_t slot) const {
+  std::int64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->counters[slot].value;
+  return total;
+}
+
+const GaugeCell& Registry::merged_gauge(std::uint32_t slot) const {
+  // Gauges are levels, not sums; the engine writes them from lane 0 only
+  // (commit points in windowed mode), so lane 0 holds the truth.
+  return lanes_[0]->gauges[slot];
+}
+
+HistogramCell Registry::merged_hist(std::uint32_t slot) const {
+  HistogramCell merged = lanes_[0]->hists[slot];
+  for (std::size_t l = 1; l < lanes_.size(); ++l)
+    merged.merge(lanes_[l]->hists[slot]);
+  return merged;
 }
 
 std::int64_t Registry::value(std::string_view name) const {
-  auto it = index_.find(name);
-  if (it == index_.end()) return 0;
-  const Entry& e = *it->second;
-  switch (e.kind) {
+  const Entry* e = find(name);
+  if (!e) return 0;
+  switch (e->kind) {
     case Kind::Counter:
-      return e.counter.value;
+      return merged_counter(e->slot);
     case Kind::Gauge:
-      return e.gauge.value;
+      return merged_gauge(e->slot).value;
     case Kind::Histogram:
-      return e.hist.count;
+      return merged_hist(e->slot).count;
   }
   return 0;
 }
@@ -75,13 +124,15 @@ std::string Registry::to_json() const {
        << kind_name(static_cast<int>(e.kind)) << '"';
     switch (e.kind) {
       case Kind::Counter:
-        os << ",\"value\":" << e.counter.value;
+        os << ",\"value\":" << merged_counter(e.slot);
         break;
-      case Kind::Gauge:
-        os << ",\"value\":" << e.gauge.value << ",\"peak\":" << e.gauge.peak;
+      case Kind::Gauge: {
+        const GaugeCell& g = merged_gauge(e.slot);
+        os << ",\"value\":" << g.value << ",\"peak\":" << g.peak;
         break;
+      }
       case Kind::Histogram: {
-        const HistogramCell& h = e.hist;
+        const HistogramCell h = merged_hist(e.slot);
         os << ",\"count\":" << h.count << ",\"sum\":" << h.sum
            << ",\"min\":" << (h.count ? h.min : 0)
            << ",\"max\":" << (h.count ? h.max : 0)
@@ -115,14 +166,16 @@ util::Table Registry::to_csv_table() const {
   for (const Entry& e : entries_) {
     switch (e.kind) {
       case Kind::Counter:
-        emit(e.name, "value", e.counter.value);
+        emit(e.name, "value", merged_counter(e.slot));
         break;
-      case Kind::Gauge:
-        emit(e.name, "value", e.gauge.value);
-        emit(e.name, "peak", e.gauge.peak);
+      case Kind::Gauge: {
+        const GaugeCell& g = merged_gauge(e.slot);
+        emit(e.name, "value", g.value);
+        emit(e.name, "peak", g.peak);
         break;
+      }
       case Kind::Histogram: {
-        const HistogramCell& h = e.hist;
+        const HistogramCell h = merged_hist(e.slot);
         emit(e.name, "count", h.count);
         emit(e.name, "sum", h.sum);
         emit(e.name, "min", h.count ? h.min : 0);
@@ -174,21 +227,25 @@ void Registry::append_sample(util::Table& table, sim::TimePoint now) const {
     if (filled >= want) break;
     switch (e.kind) {
       case Kind::Counter:
-        table.add(e.counter.value);
+        table.add(merged_counter(e.slot));
         filled += 1;
         break;
-      case Kind::Gauge:
-        table.add(e.gauge.value).add(e.gauge.peak);
+      case Kind::Gauge: {
+        const GaugeCell& g = merged_gauge(e.slot);
+        table.add(g.value).add(g.peak);
         filled += 2;
         break;
-      case Kind::Histogram:
-        table.add(e.hist.count)
-            .add(e.hist.sum)
-            .add(e.hist.value_at_percentile(50))
-            .add(e.hist.value_at_percentile(99))
-            .add(e.hist.count ? e.hist.max : 0);
+      }
+      case Kind::Histogram: {
+        const HistogramCell h = merged_hist(e.slot);
+        table.add(h.count)
+            .add(h.sum)
+            .add(h.value_at_percentile(50))
+            .add(h.value_at_percentile(99))
+            .add(h.count ? h.max : 0);
         filled += 5;
         break;
+      }
     }
   }
 }

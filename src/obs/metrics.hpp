@@ -4,35 +4,49 @@
 // hot path (docs/observability.md).
 //
 // Contract (same as sim::Tracer): layers register their instruments once, at
-// construction time, and keep the returned *handle*.  A handle is a single
-// pointer into the registry's stable cell storage; recording through it is a
-// null check plus plain integer arithmetic — no hashing, no allocation, no
-// floating point.  When no registry is attached the handles are null and
-// every record call collapses to one predictable branch.
+// construction time, and keep the returned *handle*.  A handle is a registry
+// pointer plus a stable cell index; recording through it is a null check
+// plus plain integer arithmetic — no hashing, no allocation, no floating
+// point.  When no registry is attached the handles are null and every
+// record call collapses to one predictable branch.
+//
+// Parallel engine support (docs/parallel_engine.md): cell storage is
+// *lane-indexed*.  A lane corresponds to an engine partition; the executor
+// sets the thread's lane (util::exec_lane) before running a partition's
+// events, so concurrent partitions record into disjoint cells with no
+// atomics and no locks.  Snapshots merge lanes in lane order — counters and
+// histogram buckets are commutative sums, so the merged snapshot is
+// independent of both the worker count and the execution interleaving.
+// Gauges are level samples, not sums: they are only meaningful when written
+// from lane 0 (the main/commit thread), which is where the engine writes
+// them.  A plain serial simulation only ever touches lane 0 and behaves
+// exactly as before.
 //
 // Determinism: every cell holds only integers, histogram bucket boundaries
 // are fixed powers of two (bucket index = bit_width of the value), and
 // percentiles are derived from bucket counts with integer ranks.  Two
 // replays of a deterministic simulation therefore produce byte-identical
 // snapshots (to_json/to_csv_table), which the metrics determinism suite
-// asserts across seeds and chaos plans.
+// asserts across seeds, chaos plans and worker counts.
 //
 // Registration is idempotent: asking for an existing name (same kind)
 // returns a handle to the same cell, which is how per-rank instruments share
 // system-wide aggregates.  Snapshots list entries in first-registration
-// order — itself deterministic because construction order is.
+// order — itself deterministic because construction order is.  Registration
+// must happen on the main thread (layer construction or between runs),
+// never from a worker mid-window.
 
 #include <array>
 #include <bit>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "util/error.hpp"
+#include "util/lane.hpp"
 
 namespace deep::util {
 class Table;
@@ -132,61 +146,55 @@ class Counter {
   Counter() = default;
   // Recording mutates the registry's cell, not the handle, so the methods
   // are const: layers may record through const references.
-  void add(std::int64_t v) const {
-    if (cell_) cell_->value += v;
-  }
+  inline void add(std::int64_t v) const;
   void inc() const { add(1); }
-  bool attached() const { return cell_ != nullptr; }
+  bool attached() const { return reg_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Counter(CounterCell* cell) : cell_(cell) {}
-  CounterCell* cell_ = nullptr;
+  Counter(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
 };
 
 class Gauge {
  public:
   Gauge() = default;
-  void set(std::int64_t v) const {
-    if (cell_) {
-      cell_->value = v;
-      if (v > cell_->peak) cell_->peak = v;
-    }
-  }
-  bool attached() const { return cell_ != nullptr; }
+  inline void set(std::int64_t v) const;
+  bool attached() const { return reg_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Gauge(GaugeCell* cell) : cell_(cell) {}
-  GaugeCell* cell_ = nullptr;
+  Gauge(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
 };
 
 class Histogram {
  public:
   Histogram() = default;
-  void record(std::int64_t v) const {
-    if (cell_) cell_->record(v);
-  }
+  inline void record(std::int64_t v) const;
   /// Folds `other`'s samples into this histogram (both must be attached).
-  void merge_from(const Histogram& other) const {
-    if (cell_ && other.cell_) cell_->merge(*other.cell_);
-  }
-  bool attached() const { return cell_ != nullptr; }
-  /// Read access for tests/exporters; null when detached.
-  const HistogramCell* cell() const { return cell_; }
+  /// Operates on the current lane's cells.
+  inline void merge_from(const Histogram& other) const;
+  bool attached() const { return reg_ != nullptr; }
+  /// Read access for tests/exporters; null when detached.  Returns the
+  /// current lane's cell (lane 0 in serial runs — the only lane there is).
+  inline const HistogramCell* cell() const;
 
  private:
   friend class Registry;
-  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
-  HistogramCell* cell_ = nullptr;
+  Histogram(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
 };
 
-/// The instrument registry.  Owns all cells (stable addresses via deque);
-/// attach to an Engine with set_metrics() *before* constructing the layers
-/// so they can register handles in their constructors.
+/// The instrument registry.  Owns all cells; attach to an Engine with
+/// set_metrics() *before* constructing the layers so they can register
+/// handles in their constructors.
 class Registry {
  public:
-  Registry() = default;
+  Registry() { lanes_.push_back(std::make_unique<Lane>()); }
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -199,12 +207,21 @@ class Registry {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Grows lane storage so partitions [0, n) can record concurrently.
+  /// Called by the engine before a multi-partition run; existing cells keep
+  /// their values (new lanes start zeroed).  Main thread only.
+  void ensure_lanes(std::uint32_t n);
+  std::uint32_t lanes() const { return static_cast<std::uint32_t>(lanes_.size()); }
+
   /// Reads a registered instrument's primary value by name (counter/gauge
-  /// value, histogram count); 0 when absent.  Slow path, for tests/reports.
+  /// value, histogram count), merged across lanes; 0 when absent.  Slow
+  /// path, for tests/reports.
   std::int64_t value(std::string_view name) const;
 
   /// JSON snapshot, entries in registration order, integers only — two
   /// replays of a deterministic run produce byte-identical documents.
+  /// Lanes are merged in lane order, so the document is also independent of
+  /// the worker count that produced it.
   std::string to_json() const;
 
   /// Long-format snapshot table (columns: metric, field, value) — the CSV
@@ -218,20 +235,69 @@ class Registry {
   void append_sample(util::Table& table, sim::TimePoint now) const;
 
  private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
   enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
 
   struct Entry {
     std::string name;
     Kind kind;
-    CounterCell counter;
-    GaugeCell gauge;
-    HistogramCell hist;
+    std::uint32_t slot;  // index into the per-lane array of this kind
   };
 
+  /// One lane's cells, indexed by Entry::slot.  Cells are index-addressed
+  /// (handles never hold pointers), so vector growth during registration is
+  /// safe; registration itself must not race with recording workers.
+  struct Lane {
+    std::vector<CounterCell> counters;
+    std::vector<GaugeCell> gauges;
+    std::vector<HistogramCell> hists;
+  };
+
+  const Entry* find(std::string_view name) const;
   Entry& get_or_create(std::string_view name, Kind kind);
 
-  std::deque<Entry> entries_;  // deque: handles point at cells, never moved
-  std::map<std::string, Entry*, std::less<>> index_;
+  Lane& lane() {
+    const std::uint32_t l = util::exec_lane();
+    DEEP_ASSERT(l < lanes_.size() || l == 0,
+                "Registry: recording from a lane without storage");
+    return l < lanes_.size() ? *lanes_[l] : *lanes_[0];
+  }
+
+  // Merged (cross-lane) views; see file comment for the merge rules.
+  std::int64_t merged_counter(std::uint32_t slot) const;
+  const GaugeCell& merged_gauge(std::uint32_t slot) const;
+  HistogramCell merged_hist(std::uint32_t slot) const;
+
+  std::vector<Entry> entries_;  // registration order
+  std::vector<std::unique_ptr<Lane>> lanes_;  // lanes_[0] always exists
 };
+
+inline void Counter::add(std::int64_t v) const {
+  if (reg_) reg_->lane().counters[slot_].value += v;
+}
+
+inline void Gauge::set(std::int64_t v) const {
+  if (reg_) {
+    GaugeCell& cell = reg_->lane().gauges[slot_];
+    cell.value = v;
+    if (v > cell.peak) cell.peak = v;
+  }
+}
+
+inline void Histogram::record(std::int64_t v) const {
+  if (reg_) reg_->lane().hists[slot_].record(v);
+}
+
+inline void Histogram::merge_from(const Histogram& other) const {
+  if (reg_ && other.reg_)
+    reg_->lane().hists[slot_].merge(other.reg_->lane().hists[other.slot_]);
+}
+
+inline const HistogramCell* Histogram::cell() const {
+  return reg_ ? &reg_->lane().hists[slot_] : nullptr;
+}
 
 }  // namespace deep::obs

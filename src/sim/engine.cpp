@@ -1,23 +1,31 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "sim/parallel.hpp"
 #include "util/log.hpp"
 
 namespace deep::sim {
+
+thread_local Engine::ExecTls Engine::t_exec_;
 
 // ---------------------------------------------------------------------------
 // Process fiber scheduling
 // ---------------------------------------------------------------------------
 
-Process::Process(Engine& engine, std::uint64_t id, std::string name,
-                 std::function<void(Context&)> body)
-    : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {}
+Process::Process(Engine& engine, std::uint64_t id, std::uint32_t partition,
+                 std::string name, std::function<void(Context&)> body)
+    : engine_(engine),
+      id_(id),
+      partition_(partition),
+      name_(std::move(name)),
+      body_(std::move(body)) {}
 
 Process::~Process() = default;
 
 void Process::start_fiber() {
-  fiber_.create(engine_.stack_pool_.acquire(), &Process::fiber_entry, this);
+  fiber_.create(engine_.acquire_stack(), &Process::fiber_entry, this);
 }
 
 void Process::fiber_entry(void* arg) {
@@ -32,7 +40,10 @@ void Process::fiber_entry(void* arg) {
   }
   self->state_ = State::Finished;
   self->body_ = nullptr;  // release captured resources eagerly
-  Fiber::switch_to(self->fiber_, self->engine_.sched_fiber_,
+  // cur_sched() resolves through the *running thread's* execution context,
+  // so a fiber that last ran on a worker unwinds back to whichever scheduler
+  // anchor resumed it (possibly the main thread during teardown).
+  Fiber::switch_to(self->fiber_, self->engine_.cur_sched(),
                    /*terminating=*/true);
   // A terminated fiber is never resumed.
   std::abort();
@@ -42,9 +53,9 @@ void Process::run_slice() {
   DEEP_ASSERT(state_ == State::Runnable, "run_slice: process not runnable");
   resume_scheduled_ = false;
   engine_.m_fiber_switches_.add(1);
-  Fiber::switch_to(engine_.sched_fiber_, fiber_);
+  Fiber::switch_to(engine_.cur_sched(), fiber_);
   if (state_ == State::Finished && fiber_.created())
-    engine_.stack_pool_.release(fiber_.take_stack());
+    engine_.release_stack(fiber_.take_stack());
   if (error_) {
     auto err = error_;
     error_ = nullptr;
@@ -53,12 +64,15 @@ void Process::run_slice() {
 }
 
 void Process::yield_to_engine() {
-  Fiber::switch_to(fiber_, engine_.sched_fiber_);
+  Fiber::switch_to(fiber_, engine_.cur_sched());
   if (kill_requested_) throw ProcessKilled{};
 }
 
 void Process::wake() {
   if (state_ == State::Finished) return;
+  DEEP_ASSERT(!engine_.parallel_run_ || engine_.cur_part().id == partition_,
+              "Process::wake: cross-partition wake during a parallel run "
+              "(deliver it through Engine::schedule_on)");
   wake_pending_ = true;
   if (state_ == State::Waiting) engine_.schedule_resume(*this);
 }
@@ -71,7 +85,8 @@ void Context::delay(Duration d) {
   DEEP_EXPECT(d.ps >= 0, "Context::delay: negative duration");
   Process& p = *process_;
   p.state_ = Process::State::Sleeping;
-  engine_->schedule_process(engine_->now_ + d, EventKind::SleepExpiry, p);
+  engine_->schedule_process(engine_->partition(p.partition_),
+                            engine_->now() + d, EventKind::SleepExpiry, p);
   p.yield_to_engine();
   p.state_ = Process::State::Runnable;
 }
@@ -94,19 +109,49 @@ bool Context::killed() const { return process_->kill_requested_; }
 // Engine
 // ---------------------------------------------------------------------------
 
+Engine::Engine() = default;
+
 Engine::~Engine() { kill_all_unfinished(); }
 
 void Engine::schedule_at(TimePoint t, EventFn fn) {
-  DEEP_EXPECT(t >= now_, "Engine::schedule_at: time in the past");
-  queue_.push(t, next_seq_++, EventKind::Callback, nullptr, std::move(fn));
+  Partition& part = cur_part();
+  DEEP_EXPECT(t >= part.now, "Engine::schedule_at: time in the past");
+  part.queue.push(t, part.make_key(), EventKind::Callback, nullptr,
+                  std::move(fn));
 }
 
 void Engine::schedule_in(Duration d, EventFn fn) {
-  schedule_at(now_ + d, std::move(fn));
+  schedule_at(now() + d, std::move(fn));
 }
 
-void Engine::schedule_process(TimePoint t, EventKind kind, Process& p) {
-  queue_.push(t, next_seq_++, kind, &p, EventFn{});
+void Engine::schedule_on(std::uint32_t p, TimePoint t, EventFn fn) {
+  Partition& dst = partition(p);
+  if (!parallel_run_) {
+    // Outside a parallel run everything is single-threaded: push straight
+    // into the target partition's queue with its own key stream.
+    DEEP_EXPECT(t >= dst.now, "Engine::schedule_on: time in the past");
+    dst.queue.push(t, dst.make_key(), EventKind::Callback, nullptr,
+                   std::move(fn));
+    return;
+  }
+  Partition& src = cur_part();
+  if (&src == &dst) {
+    schedule_at(t, std::move(fn));
+    return;
+  }
+  // Conservative correctness: the destination may already be executing
+  // anywhere inside the current window, so the event must land at or after
+  // its end.  Holds by construction when the modelled latency is >= the
+  // configured lookahead.
+  DEEP_EXPECT(t >= src.limit,
+              "Engine::schedule_on: cross-partition event inside the "
+              "lookahead window (latency below Engine lookahead)");
+  par_->ring(src.id, dst.id).push(ParallelState::CrossEvent{t, std::move(fn)});
+}
+
+void Engine::schedule_process(Partition& part, TimePoint t, EventKind kind,
+                              Process& p) {
+  part.queue.push(t, part.make_key(), kind, &p, EventFn{});
 }
 
 void Engine::set_metrics(obs::Registry* metrics) {
@@ -116,11 +161,15 @@ void Engine::set_metrics(obs::Registry* metrics) {
     m_fiber_switches_ = metrics_->counter("sim.fiber_switches");
     m_stale_resumes_ = metrics_->counter("sim.stale_resumes");
     m_queue_depth_ = metrics_->gauge("sim.queue_depth");
+    m_windows_ = metrics_->counter("sim.windows");
+    m_cross_events_ = metrics_->counter("sim.cross_events");
   } else {
     m_events_ = {};
     m_fiber_switches_ = {};
     m_stale_resumes_ = {};
     m_queue_depth_ = {};
+    m_windows_ = {};
+    m_cross_events_ = {};
   }
 }
 
@@ -130,34 +179,92 @@ void Engine::set_fiber_stack_size(std::size_t bytes) {
   stack_pool_.set_stack_size(bytes);
 }
 
+void Engine::set_partitions(std::uint32_t count) {
+  DEEP_EXPECT(count >= 1 && count <= kMaxPartitions,
+              "Engine::set_partitions: count out of range");
+  DEEP_EXPECT(!running_, "Engine::set_partitions: engine is running");
+  DEEP_EXPECT(processes_.empty() && part0_.queue.empty() && extra_.empty(),
+              "Engine::set_partitions: must be called on an empty engine");
+  for (std::uint32_t p = 1; p < count; ++p) {
+    extra_.push_back(std::make_unique<Partition>());
+    extra_.back()->id = p;
+  }
+  par_.reset();  // sized per partition count; rebuilt on the next run
+}
+
+void Engine::set_workers(std::uint32_t workers) {
+  DEEP_EXPECT(workers >= 1, "Engine::set_workers: need at least one worker");
+  DEEP_EXPECT(!running_, "Engine::set_workers: engine is running");
+  workers_ = workers;
+}
+
+void Engine::set_lookahead(Duration lookahead) {
+  DEEP_EXPECT(lookahead.ps >= 0, "Engine::set_lookahead: negative lookahead");
+  DEEP_EXPECT(!running_, "Engine::set_lookahead: engine is running");
+  lookahead_ = lookahead;
+}
+
+FiberStack Engine::acquire_stack() {
+  std::lock_guard<std::mutex> lock(stack_mu_);
+  return stack_pool_.acquire();
+}
+
+void Engine::release_stack(FiberStack stack) {
+  std::lock_guard<std::mutex> lock(stack_mu_);
+  stack_pool_.release(stack);
+}
+
+std::size_t Engine::events_executed() const {
+  std::size_t total = part0_.events_executed;
+  for (const auto& part : extra_) total += part->events_executed;
+  return total;
+}
+
 Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  return spawn_on(cur_part().id, std::move(name), std::move(body));
+}
+
+Process& Engine::spawn_on(std::uint32_t p, std::string name,
+                          std::function<void(Context&)> body) {
+  Partition& part = partition(p);
+  DEEP_EXPECT(!parallel_run_ || cur_part().id == p,
+              "Engine::spawn_on: cross-partition spawn during a parallel run");
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(p) << kPartitionShift) |
+      part.next_local_pid++;
   auto proc = std::unique_ptr<Process>(
-      new Process(*this, next_proc_id_++, std::move(name), std::move(body)));
-  Process& p = *proc;
-  processes_.push_back(std::move(proc));
-  p.start_fiber();
-  p.state_ = Process::State::Runnable;
-  p.resume_scheduled_ = true;
-  schedule_process(now_, EventKind::StartSlice, p);
-  return p;
+      new Process(*this, id, p, std::move(name), std::move(body)));
+  Process& ref = *proc;
+  {
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    processes_.push_back(std::move(proc));
+  }
+  ref.start_fiber();
+  ref.state_ = Process::State::Runnable;
+  ref.resume_scheduled_ = true;
+  schedule_process(part, part.now, EventKind::StartSlice, ref);
+  return ref;
 }
 
 void Engine::schedule_resume(Process& p) {
   if (p.resume_scheduled_) return;
   p.resume_scheduled_ = true;
-  schedule_process(now_, EventKind::Resume, p);
+  Partition& part = partition(p.partition_);
+  schedule_process(part, part.now, EventKind::Resume, p);
 }
 
-void Engine::dispatch_one() {
-  EventQueue::Dispatched ev = queue_.pop();
-  now_ = ev.t;
-  ++events_executed_;
+void Engine::dispatch_one(Partition& part) {
+  EventQueue::Dispatched ev = part.queue.pop();
+  part.now = ev.t;
+  part.cur_key = ev.key;
+  ++part.events_executed;
   m_events_.add(1);
   // Queue depth is sampled every 64th event: a gauge store per dispatch is
   // measurable on the cheapest fabric paths, and the decimation stays
   // deterministic because the event count is itself part of the replay.
-  if ((events_executed_ & 63) == 0)
-    m_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  // Parallel runs sample at window commits instead (sim/parallel.cpp).
+  if (!parallel_run_ && (part.events_executed & 63) == 0)
+    m_queue_depth_.set(static_cast<std::int64_t>(part.queue.size()));
   switch (ev.kind) {
     case EventKind::Callback:
       ev.fn();
@@ -201,7 +308,11 @@ void Engine::run() {
   DEEP_EXPECT(!running_, "Engine::run: already running");
   {
     RunningGuard guard(running_);
-    while (!queue_.empty()) dispatch_one();
+    if (partitions() == 1) {
+      while (!part0_.queue.empty()) dispatch_one(part0_);
+    } else {
+      run_windowed(TimePoint{}, /*bounded=*/false);
+    }
   }
   check_deadlock_or_finish();
   kill_all_unfinished();
@@ -209,12 +320,19 @@ void Engine::run() {
 
 bool Engine::run_until(TimePoint t) {
   DEEP_EXPECT(!running_, "Engine::run_until: already running");
+  bool remaining;
   {
     RunningGuard guard(running_);
-    while (!queue_.empty() && queue_.next_time() <= t) dispatch_one();
+    if (partitions() == 1) {
+      while (!part0_.queue.empty() && part0_.queue.next_time() <= t)
+        dispatch_one(part0_);
+      if (part0_.now < t) part0_.now = t;
+      remaining = !part0_.queue.empty();
+    } else {
+      remaining = run_windowed(t, /*bounded=*/true);
+    }
   }
-  if (now_ < t) now_ = t;
-  if (queue_.empty()) {
+  if (!remaining) {
     // Same stuck-process reporting as run(); daemons stay alive because the
     // caller may schedule more events and continue.
     check_deadlock_or_finish();
@@ -241,7 +359,31 @@ const char* state_name(Process::State s) {
   return "?";
 }
 
+/// Human id: the bare local number for partition 0 (the historical format),
+/// "p<partition>:<local>" elsewhere.
+std::string proc_id_str(const Process& p) {
+  const std::uint64_t local = p.id() & Engine::kSeqMask;
+  if (p.partition() == 0) return std::to_string(local);
+  std::string out = "p";
+  out += std::to_string(p.partition());
+  out += ':';
+  out += std::to_string(local);
+  return out;
+}
+
 }  // namespace
+
+std::vector<Process*> Engine::processes_by_id() const {
+  std::vector<Process*> procs;
+  procs.reserve(processes_.size());
+  for (const auto& p : processes_) procs.push_back(p.get());
+  // Spawn order and id order coincide in serial runs; in partitioned runs
+  // the vector order depends on mid-run spawn interleaving, so sort by the
+  // partition-tagged id for a reproducible iteration order.
+  std::sort(procs.begin(), procs.end(),
+            [](const Process* a, const Process* b) { return a->id() < b->id(); });
+  return procs;
+}
 
 void Engine::check_deadlock_or_finish() {
   // Two distinct "queue drained" outcomes: only daemons left (a normal end
@@ -252,14 +394,14 @@ void Engine::check_deadlock_or_finish() {
   std::size_t stuck_count = 0;
   std::size_t daemons_alive = 0;
   std::ostringstream stuck;
-  for (const auto& p : processes_) {
+  for (const Process* p : processes_by_id()) {
     if (p->finished()) continue;
     if (p->daemon()) {
       ++daemons_alive;
       continue;
     }
     ++stuck_count;
-    stuck << "\n  " << p->name() << " (id=" << p->id() << ", "
+    stuck << "\n  " << p->name() << " (id=" << proc_id_str(*p) << ", "
           << state_name(p->state()) << ')';
     if (!p->block_note().empty()) stuck << ": blocked on " << p->block_note();
   }
@@ -277,8 +419,13 @@ void Engine::check_deadlock_or_finish() {
 }
 
 void Engine::kill_all_unfinished() {
-  for (const auto& p : processes_) {
+  for (Process* p : processes_by_id()) {
     if (p->finished() || !p->fiber_.created()) continue;
+    // Enter the process's partition context: the final slice must unwind
+    // back to that partition's scheduler anchor, record into its metrics
+    // lane, and see its clock — even though teardown runs on the main
+    // thread for fibers that last executed on a worker.
+    ExecScope scope(this, &partition(p->partition_));
     p->kill_requested_ = true;
     // Hand the fiber one final slice so yield_to_engine() throws
     // ProcessKilled and the stack unwinds.

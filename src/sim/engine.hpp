@@ -3,22 +3,21 @@
 //
 // Model
 // -----
-// The engine owns a pooled event queue of (time, sequence, payload) events
-// and a set of Processes.  Each Process runs user code on its own *fiber* —
-// a stackful userspace context (ucontext) owned by the engine — and the
-// scheduler switches into exactly one fiber at a time, so at any instant a
-// single logical thread of execution is running.  Together with the
-// sequence-number tie-break this makes every simulation fully deterministic.
-// A fiber switch is a register swap (~100 ns), not a kernel round-trip, so
-// simulations with tens of thousands of concurrent processes are practical;
-// there are no OS threads involved at all.
+// The engine owns pooled event queues of (time, key, payload) events and a
+// set of Processes.  Each Process runs user code on its own *fiber* — a
+// stackful userspace context (ucontext) owned by the engine — and a
+// scheduler switches into exactly one fiber of a partition at a time.
+// Together with the key tie-break this makes every simulation fully
+// deterministic.  A fiber switch is a register swap (~100 ns), not a kernel
+// round-trip, so simulations with tens of thousands of concurrent processes
+// are practical.
 //
 // Fiber stacks default to 256 KiB (pages committed lazily) and are recycled
 // through a free-list pool when processes finish; tune with
 // Engine::set_fiber_stack_size() *before* the first spawn if process bodies
 // need deeper stacks.
 //
-// The event queue is a 4-ary implicit heap of small (time, seq, slot)
+// Each event queue is a 4-ary implicit heap of small (time, key, slot)
 // entries over a free-list slot pool (sim/event.hpp).  Callbacks are stored
 // in a small-buffer-optimized EventFn (no heap allocation for captures up to
 // 48 bytes), and process bookkeeping events — spawn slices, wake resumes,
@@ -41,10 +40,37 @@
 // ProcessKilled through their fiber (run() does this for daemons once the
 // queue drains; the destructor for everything else), so stack objects in
 // process bodies are destroyed deterministically.
+//
+// Parallel execution (docs/parallel_engine.md)
+// --------------------------------------------
+// By default the engine is single-partition and strictly single-threaded —
+// the historical behaviour, bit-for-bit.  set_partitions(P) splits the
+// simulation into P partitions, each with its own event queue, sequence
+// stream and scheduler fiber; spawn_on()/schedule_on() place work on a
+// partition.  Within a partition everything above still holds.  Across
+// partitions the engine runs a *conservative* parallel schedule: events
+// execute inside a safe window [T, T + lookahead) during which no partition
+// can affect another, so any interleaving of partition execution — one
+// worker thread or eight — produces the identical simulation.  The
+// lookahead is the minimum cross-partition link latency, supplied by the
+// fabric layer via set_lookahead(); cross-partition events are exchanged
+// through per-pair SPSC queues, re-keyed and committed in canonical
+// (time, key) order at window barriers.  Event keys are partition-tagged
+// ((partition << 40) | seq), so partition 0 of a partitioned run and a
+// plain serial run use the very same key values.
+//
+// Thread-safety contract: user code never needs locks — process bodies,
+// NIC handlers and event callbacks run on exactly one thread per window,
+// and everything a partition touches (its processes, its fabrics) must be
+// owned by that partition.  Cross-partition interaction goes through
+// schedule_on() (at or beyond the current window's end) — never through
+// direct calls into another partition's objects.  Process::wake() may only
+// be called from the process's own partition (or from outside a run).
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +79,7 @@
 #include "sim/fiber.hpp"
 #include "sim/time.hpp"
 #include "util/error.hpp"
+#include "util/lane.hpp"
 
 namespace deep::sim {
 
@@ -113,6 +140,9 @@ class Process {
   State state() const { return state_; }
   bool finished() const { return state_ == State::Finished; }
 
+  /// The partition this process lives on (0 unless spawned via spawn_on).
+  std::uint32_t partition() const { return partition_; }
+
   /// Marks this process as a daemon: the simulation is allowed to end while
   /// it is still waiting (it is then torn down gracefully).
   void set_daemon(bool daemon) { daemon_ = daemon; }
@@ -120,7 +150,10 @@ class Process {
 
   /// Delivers a wake-up.  If the process is Waiting it becomes runnable at
   /// the current virtual time; otherwise the wake is latched for its next
-  /// suspend().  Safe to call multiple times (wakes collapse).
+  /// suspend().  Safe to call multiple times (wakes collapse).  In a
+  /// partitioned run this may only be called from the process's own
+  /// partition (or from outside the run); remote partitions deliver wakes
+  /// through Engine::schedule_on().
   void wake();
 
   /// Free-form "what am I blocked on" annotation shown by the deadlock
@@ -133,8 +166,8 @@ class Process {
   friend class Engine;
   friend class Context;
 
-  Process(Engine& engine, std::uint64_t id, std::string name,
-          std::function<void(Context&)> body);
+  Process(Engine& engine, std::uint64_t id, std::uint32_t partition,
+          std::string name, std::function<void(Context&)> body);
 
   void start_fiber();
   // Scheduler -> process fiber switch; returns when the process yields,
@@ -147,6 +180,7 @@ class Process {
 
   Engine& engine_;
   std::uint64_t id_;
+  std::uint32_t partition_;
   std::string name_;
   std::function<void(Context&)> body_;
 
@@ -161,27 +195,53 @@ class Process {
   std::exception_ptr error_;
 };
 
-/// The discrete-event engine.  Not thread-safe by design: all interaction
-/// happens from the engine or from the single running process fiber.
+/// The discrete-event engine.  Single-partition engines (the default) are
+/// strictly single-threaded; partitioned engines run conservative parallel
+/// windows across worker threads (see the file comment).
 class Engine {
  public:
-  Engine() = default;
+  /// Event keys reserve the top bits for the partition id; each partition
+  /// can issue 2^40 (~10^12) events before overflow.
+  static constexpr std::uint32_t kPartitionShift = 40;
+  static constexpr std::uint64_t kSeqMask =
+      (std::uint64_t{1} << kPartitionShift) - 1;
+  static constexpr std::uint32_t kMaxPartitions = util::kMaxLanes;
+
+  // Out of line: members reference the engine-internal ParallelState, which
+  // is incomplete here (sim/parallel.hpp).
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  TimePoint now() const { return now_; }
+  /// The current virtual time: the executing partition's clock from inside a
+  /// run, the last committed time outside one.
+  TimePoint now() const {
+    const ExecTls& tls = t_exec_;
+    return tls.engine == this ? tls.part->now : part0_.now;
+  }
 
-  /// Schedules `fn` to run at absolute time `t` (>= now).  Any nullary
+  /// Schedules `fn` to run at absolute time `t` (>= now) on the current
+  /// partition (partition 0 when called from outside a run).  Any nullary
   /// callable works; captures up to 48 bytes are stored without allocating.
   void schedule_at(TimePoint t, EventFn fn);
   /// Schedules `fn` to run `d` from now.
   void schedule_in(Duration d, EventFn fn);
 
-  /// Creates a process; its body starts executing at the current time (or at
-  /// simulation start).  The returned reference stays valid for the lifetime
-  /// of the engine.
+  /// Schedules `fn` at `t` on partition `p`.  From inside a partitioned run,
+  /// a cross-partition target requires t >= the current safe window's end —
+  /// guaranteed by construction when the delay is at least the lookahead.
+  void schedule_on(std::uint32_t p, TimePoint t, EventFn fn);
+
+  /// Creates a process on partition 0 (or, from inside a process, on the
+  /// calling partition); its body starts executing at the current time.  The
+  /// returned reference stays valid for the lifetime of the engine.
   Process& spawn(std::string name, std::function<void(Context&)> body);
+
+  /// Creates a process pinned to partition `p`.  From inside a partitioned
+  /// run, only same-partition spawns are allowed.
+  Process& spawn_on(std::uint32_t p, std::string name,
+                    std::function<void(Context&)> body);
 
   /// Runs until the event queue is empty.  Throws SimError on deadlock
   /// (non-daemon processes still waiting with no pending events) and
@@ -194,8 +254,40 @@ class Engine {
   /// are stuck) but leaves daemons alive so the caller can keep scheduling.
   bool run_until(TimePoint t);
 
+  // -- partitioning -----------------------------------------------------------
+
+  /// Splits the simulation into `count` partitions (>= 1).  Must be called
+  /// on an empty engine (no processes, no scheduled events).  With count 1
+  /// (the default) the engine behaves exactly as the historical serial
+  /// engine regardless of the worker setting.
+  void set_partitions(std::uint32_t count);
+  std::uint32_t partitions() const {
+    return 1 + static_cast<std::uint32_t>(extra_.size());
+  }
+
+  /// Number of worker threads for partitioned runs (default 1: all
+  /// partitions execute on the calling thread, same windowed schedule).
+  /// Values above the partition count are clamped.  The produced simulation
+  /// — traces, metrics, results — is identical for every worker count.
+  void set_workers(std::uint32_t workers);
+  std::uint32_t workers() const { return workers_; }
+
+  /// The conservative lookahead: the minimum virtual-time distance any
+  /// cross-partition interaction travels (derived from the slowest-case
+  /// minimum latency of the bridging fabrics).  Required (> 0) before
+  /// running a multi-partition engine; ignored otherwise.
+  void set_lookahead(Duration lookahead);
+  Duration lookahead() const { return lookahead_; }
+
+  /// The partition whose events this thread is currently executing
+  /// (0 outside a run).
+  std::uint32_t current_partition() const {
+    const ExecTls& tls = t_exec_;
+    return tls.engine == this ? tls.part->id : 0;
+  }
+
   std::size_t num_processes() const { return processes_.size(); }
-  std::size_t events_executed() const { return events_executed_; }
+  std::size_t events_executed() const;
 
   /// Sets the stack size for process fibers (rounded up to a page).  Must be
   /// called before the first spawn().  Default: 256 KiB, committed lazily.
@@ -204,8 +296,13 @@ class Engine {
 
   /// Attaches (or detaches, with nullptr) an execution tracer.  The engine
   /// does not own it; instrumented layers record spans when one is present.
+  /// In partitioned runs the engine interposes per-partition buffers and
+  /// commits records to this tracer in canonical order at window barriers.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
-  Tracer* tracer() const { return tracer_; }
+  Tracer* tracer() const {
+    const ExecTls& tls = t_exec_;
+    return tls.engine == this ? tls.part->active_tracer : tracer_;
+  }
 
   /// Attaches (or detaches, with nullptr) a metrics registry.  The engine
   /// does not own it.  Attach *before* constructing the instrumented layers:
@@ -218,28 +315,103 @@ class Engine {
   friend class Process;
   friend class Context;
 
-  void dispatch_one();
+  /// One partition: an independently sequenced event stream plus the
+  /// scheduler-side fiber anchor for the thread executing it.  Partition 0
+  /// doubles as the serial engine's state, so single-partition runs are
+  /// bit-identical to the historical engine.
+  struct Partition {
+    std::uint32_t id = 0;
+    EventQueue queue;
+    TimePoint now{};
+    std::uint64_t next_seq = 0;       // local; tagged with `id` into the key
+    std::uint64_t next_local_pid = 0; // local process numbering
+    std::size_t events_executed = 0;
+    std::uint64_t cur_key = 0;        // key of the event being dispatched
+    std::uint64_t trace_emit = 0;     // per-partition trace record counter
+    TimePoint limit{};                // exclusive window end (parallel runs)
+    Fiber sched_fiber;                // switch anchor while executing here
+    Tracer* active_tracer = nullptr;  // buffer tracer during parallel runs
+    std::exception_ptr error;         // first escaped exception this window
+
+    std::uint64_t make_key() {
+      DEEP_ASSERT(next_seq <= kSeqMask, "Engine: partition sequence overflow");
+      return (static_cast<std::uint64_t>(id) << kPartitionShift) | next_seq++;
+    }
+  };
+
+  /// Which (engine, partition) the calling thread is executing for.  Unset
+  /// on threads outside a run and during serial runs — both resolve to
+  /// partition 0 state without any synchronisation.
+  struct ExecTls {
+    Engine* engine = nullptr;
+    Partition* part = nullptr;
+  };
+  static thread_local ExecTls t_exec_;
+
+  /// RAII entry into a partition's execution context: publishes the TLS
+  /// pointer and switches the metrics lane.
+  struct ExecScope {
+    ExecScope(Engine* engine, Partition* part)
+        : saved_(t_exec_), lane_(part->id) {
+      t_exec_ = ExecTls{engine, part};
+    }
+    ~ExecScope() { t_exec_ = saved_; }
+    ExecScope(const ExecScope&) = delete;
+    ExecScope& operator=(const ExecScope&) = delete;
+
+   private:
+    ExecTls saved_;
+    util::LaneGuard lane_;
+  };
+
+  struct ParallelState;  // cross-partition rings, buffers, worker threads
+
+  Partition& partition(std::uint32_t p) {
+    DEEP_EXPECT(p < partitions(), "Engine: partition index out of range");
+    return p == 0 ? part0_ : *extra_[p - 1];
+  }
+  Partition& cur_part() {
+    const ExecTls& tls = t_exec_;
+    return tls.engine == this ? *tls.part : part0_;
+  }
+  Fiber& cur_sched() { return cur_part().sched_fiber; }
+
+  void dispatch_one(Partition& part);
   void schedule_resume(Process& p);
-  void schedule_process(TimePoint t, EventKind kind, Process& p);
+  void schedule_process(Partition& part, TimePoint t, EventKind kind,
+                        Process& p);
   void check_deadlock_or_finish();
   void kill_all_unfinished();
+  std::vector<Process*> processes_by_id() const;
 
-  // Declared before processes_ so it is destroyed after them: finishing
+  FiberStack acquire_stack();
+  void release_stack(FiberStack stack);
+
+  // Windowed parallel execution (sim/parallel.cpp).  Returns true if events
+  // remain past `limit` (bounded mode only).
+  bool run_windowed(TimePoint limit, bool bounded);
+  void exec_partition_window(Partition& part);
+
+  // Declared before part0_/extra_ so it is destroyed after them: finishing
   // fibers hand their stacks back to the pool during engine teardown.
   FiberStackPool stack_pool_;
-  Fiber sched_fiber_;
-  EventQueue queue_;
+  std::mutex stack_mu_;  // spawn/finish may race across partitions
+  std::mutex spawn_mu_;  // guards processes_ growth during parallel runs
+  Partition part0_;
+  std::vector<std::unique_ptr<Partition>> extra_;
+  std::unique_ptr<ParallelState> par_;
   std::vector<std::unique_ptr<Process>> processes_;
-  TimePoint now_{};
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_proc_id_ = 0;
-  std::size_t events_executed_ = 0;
+  std::uint32_t workers_ = 1;
+  Duration lookahead_{};
   bool running_ = false;
+  bool parallel_run_ = false;  // inside run_windowed (any worker count)
   Tracer* tracer_ = nullptr;
   obs::Registry* metrics_ = nullptr;
   obs::Counter m_events_;          // sim.events
   obs::Counter m_fiber_switches_;  // sim.fiber_switches (process slices run)
   obs::Counter m_stale_resumes_;   // sim.stale_resumes (dropped stale events)
+  obs::Counter m_windows_;         // sim.windows (parallel safe windows run)
+  obs::Counter m_cross_events_;    // sim.cross_events (partition boundary)
   obs::Gauge m_queue_depth_;       // sim.queue_depth (every 64th dispatch)
 };
 

@@ -19,8 +19,12 @@
 //    free list so a steady-state simulation performs no queue allocations
 //    at all.
 //
-// Ordering is (time, sequence) — strictly FIFO among simultaneous events —
-// which the engine relies on for determinism.
+// Ordering is (time, key) — strictly FIFO among simultaneous events — which
+// the engine relies on for determinism.  The key is an opaque 64-bit value
+// chosen by the engine: a plain sequence number in serial runs, and a
+// partition-tagged sequence ((partition << 40) | seq) in partitioned runs so
+// every event in the system has a globally unique, reproducible rank that
+// does not depend on worker interleaving (see docs/parallel_engine.md).
 
 #include <cstddef>
 #include <cstdint>
@@ -141,6 +145,7 @@ class EventQueue {
   /// A dispatched event, with the payload moved out of its (recycled) slot.
   struct Dispatched {
     TimePoint t;
+    std::uint64_t key;  // the ordering key it was pushed with
     EventKind kind;
     Process* proc;
     EventFn fn;
@@ -171,7 +176,7 @@ class EventQueue {
   Dispatched pop() {
     const Entry top = heap_.front();
     Record& r = pool_[top.slot];
-    Dispatched d{top.t, r.kind, r.proc, std::move(r.fn)};
+    Dispatched d{top.t, top.seq, r.kind, r.proc, std::move(r.fn)};
     free_.push_back(top.slot);
     const Entry last = heap_.back();
     heap_.pop_back();

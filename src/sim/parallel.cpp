@@ -1,0 +1,207 @@
+// Conservative parallel (windowed) execution for sim::Engine.
+//
+// Protocol per window, driven by the main thread with W-1 helper threads:
+//
+//   plan    (main only)  drain cross-partition rings into destination
+//                        queues in canonical (src, dst) order, pick
+//                        T = min next event time, publish the safe window
+//                        [T, T + lookahead)
+//   barrier
+//   execute (all)        each worker runs its partitions' events with
+//                        t < window_end; partition p is always executed by
+//                        worker p % W, so a fiber stays on one thread for
+//                        the whole run
+//   barrier
+//   commit  (main only)  merge buffered trace records in (time, key, emit)
+//                        order, sample commit-point gauges
+//
+// Every side effect that could depend on thread interleaving is confined to
+// a partition (queues, fibers, metric lanes, trace buffers) or serialised at
+// the barriers (ring drain, trace merge), which is what makes the result
+// bit-identical for every worker count.  See docs/parallel_engine.md.
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <tuple>
+
+#include "sim/parallel.hpp"
+
+namespace deep::sim {
+
+void Engine::exec_partition_window(Partition& part) {
+  ExecScope scope(this, &part);
+  try {
+    while (!part.queue.empty() && part.queue.next_time() < part.limit)
+      dispatch_one(part);
+  } catch (...) {
+    // Deterministically propagated by the main thread after the barrier
+    // (lowest partition id wins); the partition's remaining events stay
+    // queued, exactly like a serial run stopping at a throwing event.
+    part.error = std::current_exception();
+  }
+}
+
+bool Engine::run_windowed(TimePoint limit, bool bounded) {
+  DEEP_EXPECT(lookahead_.ps > 0,
+              "Engine: multi-partition runs require set_lookahead(> 0) — the "
+              "minimum cross-partition link latency");
+  const std::uint32_t P = partitions();
+  if (!par_) par_ = std::make_unique<ParallelState>(*this);
+  if (metrics_) metrics_->ensure_lanes(P);
+  const std::uint32_t W = std::min(workers_, P);
+
+  for (std::uint32_t p = 0; p < P; ++p)
+    partition(p).active_tracer = tracer_ ? &par_->tracers[p] : nullptr;
+  parallel_run_ = true;
+
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(W));
+  std::atomic<bool> stop{false};
+
+  auto worker_loop = [&](std::uint32_t w) {
+    for (;;) {
+      sync.arrive_and_wait();  // window published (or stop)
+      if (stop.load(std::memory_order_acquire)) return;
+      for (std::uint32_t p = w; p < P; p += W)
+        exec_partition_window(partition(p));
+      sync.arrive_and_wait();  // window complete
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(W > 0 ? W - 1 : 0);
+  for (std::uint32_t w = 1; w < W; ++w) threads.emplace_back(worker_loop, w);
+
+  bool events_remain = false;
+  std::exception_ptr proc_error;
+  std::exception_ptr fatal;
+  bool stopped = false;
+  try {
+    for (;;) {
+      // ---- plan: main thread only, workers parked at the barrier ----
+      // Drain the rings in canonical (dst, src) order and re-key into the
+      // destination's sequence stream: the keys — and therefore the
+      // committed order among simultaneous events — cannot depend on how
+      // worker execution interleaved during the window.
+      std::int64_t crossed = 0;
+      for (std::uint32_t dst = 0; dst < P; ++dst) {
+        Partition& d = partition(dst);
+        for (std::uint32_t src = 0; src < P; ++src) {
+          if (src == dst) continue;
+          par_->ring(src, dst).drain([&](ParallelState::CrossEvent&& ev) {
+            DEEP_ASSERT(ev.t >= d.now,
+                        "parallel engine: cross-partition event in the past");
+            d.queue.push(ev.t, d.make_key(), EventKind::Callback, nullptr,
+                         std::move(ev.fn));
+            ++crossed;
+          });
+        }
+      }
+      if (crossed != 0) m_cross_events_.add(crossed);
+
+      // First escaped process exception wins, by partition id — a
+      // deterministic choice because window contents are deterministic.
+      for (std::uint32_t p = 0; p < P; ++p) {
+        Partition& part = partition(p);
+        if (part.error && !proc_error) proc_error = part.error;
+        part.error = nullptr;
+      }
+
+      TimePoint t_min{INT64_MAX};
+      for (std::uint32_t p = 0; p < P; ++p) {
+        Partition& part = partition(p);
+        if (!part.queue.empty() && part.queue.next_time() < t_min)
+          t_min = part.queue.next_time();
+      }
+      bool have_window = t_min.ps != INT64_MAX && !proc_error;
+      if (have_window && bounded && t_min > limit) {
+        have_window = false;
+        events_remain = true;
+      }
+      if (!have_window) {
+        stop.store(true, std::memory_order_release);
+        sync.arrive_and_wait();
+        stopped = true;
+        break;
+      }
+
+      // Conservative window: no partition can affect another before
+      // T + lookahead, so everything below that horizon is safe to run
+      // without further coordination.  Bounded runs additionally include
+      // events at exactly `limit` (hence the +1 ps exclusive cap).
+      TimePoint window_end = t_min + lookahead_;
+      if (bounded && window_end.ps > limit.ps + 1) window_end.ps = limit.ps + 1;
+      for (std::uint32_t p = 0; p < P; ++p) partition(p).limit = window_end;
+      m_windows_.add(1);
+
+      // ---- execute: all workers, partitions pinned p -> worker p % W ----
+      sync.arrive_and_wait();
+      for (std::uint32_t p = 0; p < P; p += W)
+        exec_partition_window(partition(p));
+      sync.arrive_and_wait();
+
+      // ---- commit: main thread only ----
+      if (tracer_) {
+        auto& scratch = par_->merge_scratch;
+        scratch.clear();
+        for (std::uint32_t p = 0; p < P; ++p) {
+          auto& recs = par_->tracers[p].records();
+          scratch.insert(scratch.end(),
+                         std::make_move_iterator(recs.begin()),
+                         std::make_move_iterator(recs.end()));
+          recs.clear();
+        }
+        // (t, key, emit) is unique per record, so the order — and the trace
+        // file — is identical for every worker count.
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const ParallelState::BufferTracer::Rec& a,
+                     const ParallelState::BufferTracer::Rec& b) {
+                    return std::tie(a.t_ps, a.key, a.emit) <
+                           std::tie(b.t_ps, b.key, b.emit);
+                  });
+        for (const auto& rec : scratch) {
+          if (rec.is_span)
+            tracer_->span(rec.track, rec.name, rec.begin, rec.end,
+                          rec.category);
+          else
+            tracer_->instant(rec.track, rec.name, rec.begin, rec.category);
+        }
+        scratch.clear();
+      }
+      // Commit-point queue-depth sample (the serial engine decimates by
+      // event count instead; both are deterministic).
+      std::size_t queued = 0;
+      for (std::uint32_t p = 0; p < P; ++p) queued += partition(p).queue.size();
+      m_queue_depth_.set(static_cast<std::int64_t>(queued));
+    }
+  } catch (...) {
+    fatal = std::current_exception();
+    if (!stopped) {
+      // Workers are parked at the top-of-window barrier; release them into
+      // the stop path so join() below cannot deadlock.
+      stop.store(true, std::memory_order_release);
+      sync.arrive_and_wait();
+      stopped = true;
+    }
+  }
+  for (auto& thread : threads) thread.join();
+
+  parallel_run_ = false;
+  for (std::uint32_t p = 0; p < P; ++p) partition(p).active_tracer = nullptr;
+
+  if (fatal) std::rethrow_exception(fatal);
+  if (proc_error) std::rethrow_exception(proc_error);
+
+  // Align every partition clock to the committed end of the run so post-run
+  // now() and scheduling read one consistent time.
+  TimePoint final_now = bounded ? limit : TimePoint{};
+  for (std::uint32_t p = 0; p < P; ++p)
+    if (partition(p).now > final_now) final_now = partition(p).now;
+  for (std::uint32_t p = 0; p < P; ++p) {
+    Partition& part = partition(p);
+    if (part.now < final_now) part.now = final_now;
+  }
+  return events_remain;
+}
+
+}  // namespace deep::sim

@@ -31,6 +31,26 @@ class Summary {
   }
   double stddev() const { return std::sqrt(variance()); }
 
+  /// Folds another accumulator in (Chan et al. parallel Welford update), as
+  /// if every sample added to `other` had been added here.  Used to combine
+  /// per-partition shards kept by partition-aware fabrics.
+  void merge(const Summary& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::int64_t n_ = 0;
   double mean_ = 0.0;

@@ -21,13 +21,19 @@ namespace deep::sim {
 
 class Tracer {
  public:
-  /// Records a completed interval [begin, end] on `track`.
-  void span(const std::string& track, const std::string& name,
-            TimePoint begin, TimePoint end, const std::string& category = "");
+  virtual ~Tracer() = default;
+
+  /// Records a completed interval [begin, end] on `track`.  Virtual so the
+  /// parallel engine can interpose a per-partition buffering tracer that
+  /// commits records in canonical order (docs/parallel_engine.md); direct
+  /// Tracer use is unaffected.
+  virtual void span(const std::string& track, const std::string& name,
+                    TimePoint begin, TimePoint end,
+                    const std::string& category = "");
 
   /// Records a point event.
-  void instant(const std::string& track, const std::string& name, TimePoint t,
-               const std::string& category = "");
+  virtual void instant(const std::string& track, const std::string& name,
+                       TimePoint t, const std::string& category = "");
 
   std::size_t num_events() const { return events_.size(); }
 

@@ -50,6 +50,12 @@ struct SystemConfig {
   AllocPolicy alloc_policy = AllocPolicy::Dynamic;
   int static_partitions = 0;  // used with StaticPartition; 0 = cluster_nodes
 
+  /// Engine worker threads (sim::Engine::set_workers).  The classic
+  /// cluster+booster machine is one engine partition, so the flag changes
+  /// scheduling only for partitioned topologies (net::BridgeFabric islands);
+  /// results are bit-identical for every value (docs/parallel_engine.md).
+  int workers = 1;
+
   // Process start-up model for comm_spawn (ParaStation-style tree startup).
   sim::Duration rm_latency = sim::from_micros(200);     // allocation decision
   sim::Duration launch_base = sim::from_micros(500);    // exec + MPI init

@@ -52,6 +52,8 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   DEEP_EXPECT(config_.cluster_nodes >= 1, "DeepSystem: need cluster nodes");
   DEEP_EXPECT(config_.booster_nodes >= 1, "DeepSystem: need booster nodes");
   DEEP_EXPECT(config_.gateways >= 1, "DeepSystem: need at least one gateway");
+  DEEP_EXPECT(config_.workers >= 1, "DeepSystem: need at least one worker");
+  engine_.set_workers(static_cast<std::uint32_t>(config_.workers));
 
   if (config_.metrics.enabled) {
     // Attach before any layer exists: fabrics, bridge, MPI and the engine

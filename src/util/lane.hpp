@@ -1,0 +1,50 @@
+#pragma once
+// Execution-lane identity for the parallel simulation engine.
+//
+// A *lane* names the partition a thread is currently executing on behalf of
+// (docs/parallel_engine.md).  The engine sets the lane when a worker enters
+// a partition's event window; lane-aware facilities — the obs::Registry's
+// per-lane metric cells and the net pool arenas — key their storage off it
+// so concurrent partitions never touch each other's mutable state.
+//
+// Lane 0 is the default for every thread, including the main thread of a
+// plain serial simulation, so single-partition runs behave exactly as if
+// lanes did not exist.
+
+#include <cstdint>
+
+namespace deep::util {
+
+/// Maximum number of execution lanes (engine partitions) supported by the
+/// lane-indexed facilities.  Small by design: lanes map to worker-executed
+/// partitions, not to simulated entities.
+inline constexpr std::uint32_t kMaxLanes = 64;
+
+namespace detail {
+inline thread_local std::uint32_t t_exec_lane = 0;
+}  // namespace detail
+
+/// The lane this thread currently executes on behalf of (0 by default).
+inline std::uint32_t exec_lane() noexcept { return detail::t_exec_lane; }
+
+/// Sets this thread's lane.  Called by the engine's partition executor; user
+/// code never needs it.
+inline void set_exec_lane(std::uint32_t lane) noexcept {
+  detail::t_exec_lane = lane;
+}
+
+/// RAII lane switch (exception-safe restore).
+class LaneGuard {
+ public:
+  explicit LaneGuard(std::uint32_t lane) noexcept : prev_(exec_lane()) {
+    set_exec_lane(lane);
+  }
+  ~LaneGuard() { set_exec_lane(prev_); }
+  LaneGuard(const LaneGuard&) = delete;
+  LaneGuard& operator=(const LaneGuard&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+}  // namespace deep::util

@@ -31,6 +31,7 @@ struct ChaosConfig {
   int iterations = 0;  // 0: per-workload default; >0: override (stencil/spmv)
   cbp::GatewayPolicy policy = cbp::GatewayPolicy::ByPair;
   cbp::BridgeParams bridge;  // retry/backoff knobs
+  int workers = 1;  // engine worker threads; outcomes must not depend on it
 };
 
 /// Everything observable about one chaos run.  `trace` plus the scalar
@@ -128,6 +129,7 @@ inline ChaosOutcome run_chaos(const ChaosConfig& cfg,
                     with_metrics ? &registry : nullptr);
   sim::Tracer tracer;
   rig.engine().set_tracer(&tracer);
+  rig.engine().set_workers(static_cast<std::uint32_t>(cfg.workers));
 
   net::FaultPlan plan(rig.engine(), spec);
   plan.attach(rig.ib());

@@ -1,0 +1,430 @@
+// Parallel (multi-partition) engine tests: conservative-window execution,
+// cross-partition event exchange, bit-exact determinism across worker
+// counts, and the teardown / deadlock / daemon edge cases that only exist
+// once fibers can live on non-main worker threads.
+//
+// Labelled `parallel` in ctest; scripts/run_chaos.sh runs the label under
+// AddressSanitizer alongside the chaos suite.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "util/lane.hpp"
+
+#include "chaos_rig.hpp"
+
+namespace ds = deep::sim;
+namespace dn = deep::net;
+namespace dobs = deep::obs;
+namespace du = deep::util;
+
+namespace {
+
+constexpr ds::Duration kUs = ds::from_micros(1);
+
+// ---------------------------------------------------------------------------
+// Core windowed execution
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, TwoPartitionPingPong) {
+  for (const std::uint32_t workers : {1u, 2u}) {
+    ds::Engine engine;
+    engine.set_partitions(2);
+    engine.set_workers(workers);
+    engine.set_lookahead(kUs);
+
+    auto counts = std::make_shared<std::array<int, 2>>();
+    // Each hop schedules the next one onto the other partition exactly one
+    // lookahead ahead — the earliest a conservative exchange can land.
+    std::function<void(std::uint32_t, int)> hop = [&](std::uint32_t p,
+                                                      int remaining) {
+      (*counts)[p] += 1;
+      if (remaining == 0) return;
+      engine.schedule_on(1 - p, engine.now() + kUs,
+                         [&hop, p, remaining] { hop(1 - p, remaining - 1); });
+    };
+    engine.schedule_on(0, ds::TimePoint{0}, [&hop] { hop(0, 10); });
+    engine.run();
+
+    EXPECT_EQ((*counts)[0], 6) << "workers=" << workers;
+    EXPECT_EQ((*counts)[1], 5) << "workers=" << workers;
+    EXPECT_EQ(engine.now().ps, 10 * kUs.ps) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelEngine, RequiresLookahead) {
+  ds::Engine engine;
+  engine.set_partitions(2);
+  engine.schedule_on(1, ds::TimePoint{0}, [] {});
+  EXPECT_THROW(engine.run(), du::UsageError);
+}
+
+TEST(ParallelEngine, ProcessesRunOnTheirPartitions) {
+  ds::Engine engine;
+  engine.set_partitions(3);
+  engine.set_workers(3);
+  engine.set_lookahead(kUs);
+
+  auto seen = std::make_shared<std::vector<std::uint32_t>>(3, 99u);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    engine.spawn_on(p, "proc" + std::to_string(p),
+                    [seen, p, &engine](ds::Context& ctx) {
+                      ctx.delay(kUs * (p + 1));
+                      (*seen)[p] = engine.current_partition();
+                    });
+  }
+  engine.run();
+  for (std::uint32_t p = 0; p < 3; ++p) EXPECT_EQ((*seen)[p], p);
+}
+
+// A partitioned run with globally unique event times must commit the exact
+// trace a serial engine produces for the same schedule.
+TEST(ParallelEngine, TraceMatchesSerialByteForByte) {
+  const auto build = [](ds::Engine& engine, bool partitioned) {
+    for (int i = 0; i < 30; ++i) {
+      const ds::TimePoint t{(i + 1) * kUs.ps};
+      const std::string name = "ev" + std::to_string(i);
+      auto fn = [&engine, t, name] {
+        engine.tracer()->instant("test", name, t);
+      };
+      if (partitioned)
+        engine.schedule_on(static_cast<std::uint32_t>(i % 3), t, std::move(fn));
+      else
+        engine.schedule_at(t, std::move(fn));
+    }
+  };
+
+  ds::Tracer serial_tracer;
+  ds::Engine serial;
+  serial.set_tracer(&serial_tracer);
+  build(serial, false);
+  serial.run();
+
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    ds::Tracer tracer;
+    ds::Engine engine;
+    engine.set_partitions(3);
+    engine.set_workers(workers);
+    engine.set_lookahead(kUs);
+    engine.set_tracer(&tracer);
+    build(engine, true);
+    engine.run();
+    EXPECT_EQ(tracer.to_chrome_json(), serial_tracer.to_chrome_json())
+        << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: daemons, wake across a window boundary, teardown, deadlock
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, DaemonsAliveAtDrainAreKilledCleanly) {
+  auto unwound = std::make_shared<int>(0);
+  {
+    ds::Engine engine;
+    engine.set_partitions(2);
+    engine.set_workers(2);
+    engine.set_lookahead(kUs);
+
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      auto& daemon = engine.spawn_on(p, "daemon" + std::to_string(p),
+                                     [unwound](ds::Context& ctx) {
+                                       struct Guard {
+                                         int* flag;
+                                         ~Guard() { ++*flag; }
+                                       } guard{unwound.get()};
+                                       while (!ctx.killed()) ctx.suspend();
+                                     });
+      daemon.set_daemon(true);
+    }
+    engine.spawn_on(1, "worker",
+                    [](ds::Context& ctx) { ctx.delay(kUs * 5); });
+    engine.run();  // daemons must not count as deadlock
+    EXPECT_EQ(engine.now().ps, 5 * kUs.ps);
+  }
+  // Engine destruction unwinds both daemon fibers — including the one whose
+  // fiber last ran on a non-main worker thread.
+  EXPECT_EQ(*unwound, 2);
+}
+
+// A wake that crosses partitions must travel as a cross-partition event; a
+// wake arriving while the target sleeps is remembered, so the following
+// suspend() collapses (returns immediately).
+TEST(ParallelEngine, CrossBoundaryWakeDuringSleepCollapses) {
+  ds::Engine engine;
+  engine.set_partitions(2);
+  engine.set_workers(2);
+  engine.set_lookahead(kUs);
+
+  auto done_ps = std::make_shared<std::int64_t>(-1);
+  auto& sleeper = engine.spawn_on(1, "sleeper",
+                                  [done_ps](ds::Context& ctx) {
+                                    ctx.delay(kUs * 10);
+                                    ctx.suspend();  // wake already pending
+                                    *done_ps = ctx.now().ps;
+                                  });
+  // Partition 0 pokes the sleeper mid-sleep through a bridged event that
+  // runs on the sleeper's own partition (wake() is partition-local).
+  engine.schedule_on(0, ds::TimePoint{kUs.ps}, [&engine, &sleeper] {
+    engine.schedule_on(1, engine.now() + kUs, [&sleeper] { sleeper.wake(); });
+  });
+  engine.run();
+  EXPECT_EQ(*done_ps, 10 * kUs.ps);
+}
+
+TEST(ParallelEngine, TeardownWithLiveFibersOnNonMainWorkers) {
+  auto unwound = std::make_shared<int>(0);
+  {
+    ds::Engine engine;
+    engine.set_partitions(4);
+    engine.set_workers(4);
+    engine.set_lookahead(kUs);
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      auto& proc = engine.spawn_on(p, "stuck" + std::to_string(p),
+                                   [unwound](ds::Context& ctx) {
+                                     struct Guard {
+                                       int* flag;
+                                       ~Guard() { ++*flag; }
+                                     } guard{unwound.get()};
+                                     ctx.delay(kUs);
+                                     while (!ctx.killed()) ctx.suspend();
+                                   });
+      proc.set_daemon(true);
+    }
+    // Bounded run: every fiber has started (and parked) on its worker.
+    engine.run_until(ds::TimePoint{5 * kUs.ps});
+    EXPECT_EQ(*unwound, 0);
+  }
+  EXPECT_EQ(*unwound, 4);
+}
+
+TEST(ParallelEngine, DeadlockReportNamesPartitionedProcess) {
+  ds::Engine engine;
+  engine.set_partitions(2);
+  engine.set_workers(2);
+  engine.set_lookahead(kUs);
+  engine.spawn_on(1, "stuck-consumer", [](ds::Context& ctx) {
+    ctx.delay(kUs);
+    ctx.suspend();  // nobody ever wakes us
+  });
+  try {
+    engine.run();
+    FAIL() << "expected a deadlock report";
+  } catch (const du::SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-consumer"), std::string::npos) << what;
+    EXPECT_NE(what.find("p1:"), std::string::npos) << what;
+  }
+}
+
+TEST(ParallelEngine, ProcessExceptionPropagatesDeterministically) {
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    ds::Engine engine;
+    engine.set_partitions(4);
+    engine.set_workers(workers);
+    engine.set_lookahead(kUs);
+    // Two partitions throw in the same window; the lowest partition id must
+    // win regardless of worker interleaving.
+    for (const std::uint32_t p : {3u, 1u}) {
+      engine.schedule_on(p, ds::TimePoint{kUs.ps}, [p] {
+        throw std::runtime_error("boom from p" + std::to_string(p));
+      });
+    }
+    try {
+      engine.run();
+      FAIL() << "expected the process exception to escape";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom from p1") << "workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bridge fabric: partition-aware delivery
+// ---------------------------------------------------------------------------
+
+struct IslandRig {
+  explicit IslandRig(std::uint32_t partitions, std::uint32_t workers,
+                     dobs::Registry* registry = nullptr) {
+    engine.set_partitions(partitions);
+    engine.set_workers(workers);
+    if (registry != nullptr) engine.set_metrics(registry);
+    bridge = std::make_unique<dn::BridgeFabric>(engine, "cb-bridge",
+                                                dn::BridgeParams{});
+    engine.set_lookahead(bridge->lookahead());
+    for (std::uint32_t p = 0; p < partitions; ++p)
+      bridge->attach_in(p, p);  // node id == partition id
+  }
+
+  ds::Engine engine;
+  std::unique_ptr<dn::BridgeFabric> bridge;
+};
+
+TEST(BridgeFabric, DeliversAcrossPartitions) {
+  IslandRig rig(2, 2);
+  auto delivered = std::make_shared<std::vector<std::int64_t>>();
+  rig.bridge->nic(1).bind(dn::Port::Raw, [&rig, delivered](dn::Message&&) {
+    delivered->push_back(rig.engine.now().ps);
+  });
+  rig.engine.schedule_on(0, ds::TimePoint{0}, [&rig] {
+    dn::Message msg;
+    msg.src = 0;
+    msg.dst = 1;
+    msg.size_bytes = 4096;
+    rig.bridge->send(std::move(msg), dn::Service::Bulk);
+  });
+  rig.engine.run();
+
+  ASSERT_EQ(delivered->size(), 1u);
+  const auto expected =
+      (rig.bridge->serialisation(4096) + rig.bridge->params().latency).ps;
+  EXPECT_EQ((*delivered)[0], expected);
+  EXPECT_EQ(rig.bridge->stats().messages, 1);
+  EXPECT_EQ(rig.bridge->stats().bytes, 4096);
+}
+
+TEST(BridgeFabric, LookaheadIsPositiveAndMatchesLatency) {
+  ds::Engine engine;
+  dn::BridgeFabric bridge(engine, "b", dn::BridgeParams{});
+  EXPECT_GT(bridge.lookahead().ps, 0);
+  EXPECT_EQ(bridge.lookahead().ps, bridge.params().latency.ps);
+}
+
+/// Runs a 4-island all-to-neighbour exchange and returns its fingerprint
+/// (trace bytes + metrics JSON + final scalars).
+std::string run_island_exchange(std::uint32_t workers) {
+  dobs::Registry registry;
+  ds::Tracer tracer;
+  IslandRig rig(4, workers, &registry);
+  rig.engine.set_tracer(&tracer);
+
+  auto received = std::make_shared<std::array<int, 4>>();
+  constexpr int kRounds = 8;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    rig.bridge->nic(n).bind(
+        dn::Port::Raw, [&rig, received, n](dn::Message&& msg) {
+          (*received)[n] += 1;
+          // Bounce smaller replies until the budget runs out; replies run on
+          // the receiving island's partition and re-enter the bridge there.
+          if (msg.size_bytes <= 256) return;
+          dn::Message reply;
+          reply.src = n;
+          reply.dst = msg.src;
+          reply.size_bytes = msg.size_bytes / 2;
+          rig.bridge->send(std::move(reply), dn::Service::Bulk);
+        });
+  }
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    for (int r = 0; r < kRounds; ++r) {
+      rig.engine.schedule_on(n, ds::TimePoint{(r + 1) * kUs.ps}, [&rig, n, r] {
+        dn::Message msg;
+        msg.src = n;
+        msg.dst = (n + 1 + static_cast<std::uint32_t>(r) % 3) % 4;
+        msg.size_bytes = 1024 << (r % 3);
+        rig.bridge->send(std::move(msg), dn::Service::Bulk);
+      });
+    }
+  }
+  rig.engine.run();
+
+  std::string fp = tracer.to_chrome_json();
+  fp += "|" + registry.to_json();
+  fp += "|" + std::to_string(rig.engine.now().ps);
+  fp += "|" + std::to_string(rig.engine.events_executed());
+  const dn::FabricStats stats = rig.bridge->stats();
+  fp += "|" + std::to_string(stats.messages) + "," +
+        std::to_string(stats.bytes) + "," +
+        std::to_string(stats.delivery_us.count()) + "," +
+        std::to_string(stats.delivery_us.mean());
+  for (int n = 0; n < 4; ++n) fp += "," + std::to_string((*received)[n]);
+  return fp;
+}
+
+// The tentpole acceptance check: traces, metrics snapshots and every scalar
+// outcome are byte-identical for every worker count.
+TEST(ParallelDeterminism, IslandExchangeIdenticalAcrossWorkerCounts) {
+  const std::string baseline = run_island_exchange(1);
+  EXPECT_NE(baseline.find("cb-bridge"), std::string::npos);
+  for (const std::uint32_t workers : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_island_exchange(workers), baseline)
+        << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos rig sweep: the full bridged MPI system must be insensitive to the
+// workers knob (it is single-partition, so this guards the serial path too).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, ChaosRigInsensitiveToWorkers) {
+  namespace dt = deep::testing;
+  for (const std::uint64_t seed : {3ull, 17ull}) {
+    dt::ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.workload = dt::ChaosWorkload::Stencil;
+    const auto spec = dt::make_chaos_spec(seed, cfg);
+
+    cfg.workers = 1;
+    const std::string baseline =
+        dt::run_chaos(cfg, spec, /*with_metrics=*/true).fingerprint();
+    for (const int workers : {2, 4, 8}) {
+      cfg.workers = workers;
+      EXPECT_EQ(dt::run_chaos(cfg, spec, true).fingerprint(), baseline)
+          << "seed=" << seed << " workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Building blocks: lane-sharded metrics and Summary::merge
+// ---------------------------------------------------------------------------
+
+TEST(ParallelObs, RegistryMergesLanes) {
+  dobs::Registry registry;
+  auto counter = registry.counter("test.counter");
+  auto hist = registry.histogram("test.hist");
+  registry.ensure_lanes(3);
+
+  counter.add(1);  // lane 0
+  hist.record(10);
+  for (std::uint32_t lane = 1; lane < 3; ++lane) {
+    du::LaneGuard guard(lane);
+    counter.add(10 * lane);
+    hist.record(100 * lane);
+  }
+
+  EXPECT_EQ(registry.value("test.counter"), 31);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+}
+
+TEST(ParallelObs, SummaryMergeMatchesSequential) {
+  ds::Summary all, a, b, empty;
+  for (int i = 1; i <= 10; ++i) {
+    all.add(i * 1.5);
+    (i <= 4 ? a : b).add(i * 1.5);
+  }
+  ds::Summary merged;
+  merged.merge(a);
+  merged.merge(empty);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  EXPECT_NEAR(merged.stddev(), all.stddev(), 1e-9);
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 //     --procs N            HSCP width (booster ranks)     (default 4)
 //     --steps N            coupling steps / iterations    (default 3)
 //     --static-partitions  use static booster partitioning
+//     --workers N          engine worker threads          (default 1)
 //     --trace FILE         write a Chrome/Perfetto trace
 //     --report             print the full system report
 //     --metrics-out FILE   write a metrics snapshot (.json or .csv)
@@ -53,6 +54,7 @@ struct Options {
   std::string workload = "stencil";
   int procs = 4;
   int steps = 3;
+  int workers = 1;
   bool static_partitions = false;
   std::string trace_file;
   bool report = false;
@@ -65,7 +67,7 @@ void usage() {
       "deepsim — simulated DEEP cluster-booster machine\n"
       "  --cluster N   --booster N   --gateways N\n"
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
-      "  --static-partitions   --trace FILE   --report\n"
+      "  --static-partitions   --workers N   --trace FILE   --report\n"
       "  --metrics-out FILE (.json|.csv)   --metrics-interval US   --help");
 }
 
@@ -91,6 +93,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.procs = std::atoi(next());
     } else if (arg == "--steps") {
       opt.steps = std::atoi(next());
+    } else if (arg == "--workers") {
+      opt.workers = std::atoi(next());
     } else if (arg == "--workload") {
       opt.workload = next();
     } else if (arg == "--trace") {
@@ -258,6 +262,11 @@ int main(int argc, char** argv) {
   config.gateways = opt.gateways;
   config.metrics.enabled =
       !opt.metrics_file.empty() || opt.metrics_interval_us > 0;
+  if (opt.workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 2;
+  }
+  config.workers = opt.workers;
   if (opt.static_partitions)
     config.alloc_policy = dsy::AllocPolicy::StaticPartition;
   dsy::DeepSystem system(config);
