@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CI speedup gate for the parallel engine (docs/parallel_engine.md).
+#
+# Compares a fresh bench_parallel measurement against the speedup floor
+# recorded in the checked-in baseline (results/BENCH_parallel.json,
+# baseline.speedup_floor): the minimum over workloads of the wall-clock
+# speedup at baseline.gate_workers workers must not fall below the floor.
+#
+# The gate only means something on a machine that can actually run the
+# workers in parallel: when the measurement says "undersubscribed": true
+# (host_cpus < gate_workers), the check warns and exits 0 instead of
+# failing — a 1-CPU container cannot measure parallel speedup.
+#
+# Usage: scripts/check_bench_parallel.sh [measured.json] [baseline.json]
+#   defaults: results/BENCH_parallel_ci.json, results/BENCH_parallel.json
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MEASURED="${1:-$ROOT/results/BENCH_parallel_ci.json}"
+BASELINE="${2:-$ROOT/results/BENCH_parallel.json}"
+
+if [ ! -f "$MEASURED" ]; then
+  echo "check_bench_parallel: no measurement at $MEASURED" >&2
+  echo "check_bench_parallel: run scripts/run_bench_parallel.sh first" >&2
+  exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "check_bench_parallel: no baseline at $BASELINE" >&2
+  exit 1
+fi
+
+python3 - "$MEASURED" "$BASELINE" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    measured = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+
+floor = baseline["baseline"]["speedup_floor"]
+gate_workers = baseline["baseline"].get("gate_workers", 4)
+host_cpus = measured.get("host_cpus", 0)
+undersubscribed = measured.get("undersubscribed", host_cpus < gate_workers)
+speedup = measured.get("gate_speedup")
+deterministic = measured.get("deterministic", False)
+
+print(f"check_bench_parallel: host_cpus={host_cpus} "
+      f"gate_workers={gate_workers} floor={floor}")
+for wl in measured.get("workloads", []):
+    print(f"  {wl['name']}: speedup_at_gate={wl['speedup_at_gate']:.2f}")
+
+if not deterministic:
+    print("FAIL: simulation outcomes differ across worker counts")
+    sys.exit(1)
+
+if undersubscribed:
+    print(f"SKIP: undersubscribed host ({host_cpus} cpu(s) < "
+          f"{gate_workers} workers) — speedup unmeasurable, gate waived")
+    sys.exit(0)
+
+if speedup is None:
+    print("FAIL: measurement carries no gate_speedup field")
+    sys.exit(1)
+
+if speedup < floor:
+    print(f"FAIL: {gate_workers}-worker speedup {speedup:.2f} < "
+          f"floor {floor} (min over workloads)")
+    sys.exit(1)
+
+print(f"PASS: {gate_workers}-worker speedup {speedup:.2f} >= floor {floor}")
+EOF

@@ -24,11 +24,37 @@ MpiSystem::MpiSystem(sim::Engine& engine, cbp::Transport& transport,
 
 MpiSystem::~MpiSystem() = default;
 
+void MpiSystem::EndpointTable::put(EpId id, std::shared_ptr<Endpoint> ep) {
+  const std::size_t c = static_cast<std::size_t>(id) >> kChunkBits;
+  DEEP_EXPECT(c < kMaxChunks, "MpiSystem: endpoint id space exhausted");
+  Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk->slots[static_cast<std::size_t>(id) & (kChunkSize - 1)] =
+      std::move(ep);
+}
+
+const std::shared_ptr<Endpoint>* MpiSystem::EndpointTable::find(
+    EpId id) const {
+  const std::size_t c = static_cast<std::size_t>(id) >> kChunkBits;
+  if (c >= kMaxChunks) return nullptr;
+  const Chunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  const std::shared_ptr<Endpoint>& slot =
+      chunk->slots[static_cast<std::size_t>(id) & (kChunkSize - 1)];
+  return slot ? &slot : nullptr;
+}
+
 Endpoint& MpiSystem::create_endpoint(hw::NodeId node) {
+  DEEP_EXPECT(engine_->current_partition() == 0,
+              "MpiSystem::create_endpoint: worlds are created on partition 0 "
+              "(the launcher / cluster-side spawn root)");
   const EpId id = next_ep_++;
   auto ep = std::make_shared<Endpoint>(*this, id, node);
   Endpoint& ref = *ep;
-  endpoints_.emplace(id, std::move(ep));
+  endpoints_.put(id, std::move(ep));
 
   auto [it, first_on_node] = by_node_.try_emplace(node);
   it->second.push_back(&ref);
@@ -45,15 +71,15 @@ Endpoint& MpiSystem::create_endpoint(hw::NodeId node) {
 }
 
 Endpoint& MpiSystem::endpoint(EpId id) {
-  auto it = endpoints_.find(id);
-  DEEP_EXPECT(it != endpoints_.end(), "MpiSystem: unknown endpoint");
-  return *it->second;
+  const auto* slot = endpoints_.find(id);
+  DEEP_EXPECT(slot != nullptr, "MpiSystem: unknown endpoint");
+  return **slot;
 }
 
 std::shared_ptr<Endpoint> MpiSystem::endpoint_ptr(EpId id) {
-  auto it = endpoints_.find(id);
-  DEEP_EXPECT(it != endpoints_.end(), "MpiSystem: unknown endpoint");
-  return it->second;
+  const auto* slot = endpoints_.find(id);
+  DEEP_EXPECT(slot != nullptr, "MpiSystem: unknown endpoint");
+  return *slot;
 }
 
 void MpiSystem::route(net::Message msg, net::Service svc) {
@@ -107,6 +133,21 @@ void MpiSystem::handle_loss(net::Message&& msg) {
 }
 
 ContextId MpiSystem::context_block(std::uint64_t key_a, std::uint64_t key_b) {
+  if (engine_->partitions() > 1) {
+    // Pure function of the collective's identity: ranks on different
+    // partitions compute the same block with no shared mutation.  The block
+    // lives in the top half of the 64-bit context space (bit 63 set, stride
+    // aligned), disjoint from the sequential allocator below; 2^53 possible
+    // blocks make collisions across a run's collectives negligible.
+    std::uint64_t h = key_a * 0x9E3779B97F4A7C15ULL;
+    h ^= key_b + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return (std::uint64_t{1} << 63) | ((h >> 11) * kContextStride);
+  }
   auto [it, inserted] = context_memo_.try_emplace({key_a, key_b}, 0);
   if (inserted) {
     it->second = next_context_;
@@ -116,8 +157,12 @@ ContextId MpiSystem::context_block(std::uint64_t key_a, std::uint64_t key_b) {
 }
 
 ContextId MpiSystem::fresh_context_block() {
+  DEEP_EXPECT(engine_->current_partition() == 0,
+              "MpiSystem::fresh_context_block: confined to partition 0");
   const ContextId base = next_context_;
   next_context_ += kContextStride;
+  DEEP_ASSERT(next_context_ < (std::uint64_t{1} << 62),
+              "MpiSystem: sequential context space exhausted");
   return base;
 }
 
@@ -134,6 +179,9 @@ MpiSystem::World MpiSystem::create_world(const std::vector<hw::NodeId>& nodes) {
 }
 
 const SpawnResult& MpiSystem::spawn_collective(const SpawnRequest& request) {
+  DEEP_EXPECT(engine_->current_partition() == 0,
+              "MpiSystem::spawn_collective: spawning ranks must live on "
+              "partition 0 (the cluster side)");
   const auto key = std::pair{request.parent_context, request.epoch};
   auto it = spawn_memo_.find(key);
   if (it == spawn_memo_.end()) {

@@ -6,6 +6,8 @@
 // consistent across ranks), and holds the spawner hook through which the
 // resource-management layer (deep::sys) implements MPI_Comm_spawn.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -92,12 +94,18 @@ class MpiSystem {
   /// Wire messages the transport reported as unrecoverably lost.
   std::int64_t messages_lost() const { return messages_lost_; }
 
-  /// Allocates a fresh block of context ids; memoised on `key` so every rank
-  /// performing the same collective (split/dup/merge/spawn) sees the same
-  /// block.  Blocks are kContextStride wide.
+  /// Allocates a fresh block of context ids shared by every rank performing
+  /// the same collective (split/dup/merge/spawn).  Serial engines memoise a
+  /// sequential allocator on `key`; partitioned engines compute the block as
+  /// a pure hash of the key instead, so ranks on different partitions agree
+  /// without shared mutation (hashed blocks live in the top half of the
+  /// 64-bit context space, disjoint from the sequential allocator's).
+  /// Blocks are kContextStride wide.
   ContextId context_block(std::uint64_t key_a, std::uint64_t key_b);
 
   /// Allocates a non-memoised context block (world creation, intercomms).
+  /// Partitioned engines confine this to partition 0 — worlds are created by
+  /// the launcher / the cluster-side spawn root.
   ContextId fresh_context_block();
 
   /// Spawner hook; installed by the system layer.  Must be memoised-safe:
@@ -125,13 +133,46 @@ class MpiSystem {
   World create_world(const std::vector<hw::NodeId>& nodes);
 
  private:
+  /// Endpoint registry with lock-free reads under concurrent growth.  EpIds
+  /// are dense and sequential, so endpoints live in fixed-size chunks hung
+  /// off an atomic pointer array: existing entries never move when partition
+  /// 0 creates endpoints for a new world, and every cross-partition consumer
+  /// learns an EpId through a message (hence through a window barrier) after
+  /// the slot was filled — the acquire load of the chunk pointer covers the
+  /// same-window structural race a hash map's rehash would have.
+  class EndpointTable {
+   public:
+    static constexpr std::size_t kChunkBits = 10;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+    static constexpr std::size_t kMaxChunks = 1 << 14;  // 16M endpoints
+
+    EndpointTable() = default;
+    EndpointTable(const EndpointTable&) = delete;
+    EndpointTable& operator=(const EndpointTable&) = delete;
+    ~EndpointTable() {
+      for (auto& slot : chunks_) delete slot.load(std::memory_order_relaxed);
+    }
+
+    /// Writer side (partition 0 / setup only).
+    void put(EpId id, std::shared_ptr<Endpoint> ep);
+    /// Reader side (any partition).  Null when the id was never created.
+    const std::shared_ptr<Endpoint>* find(EpId id) const;
+
+   private:
+    struct Chunk {
+      std::array<std::shared_ptr<Endpoint>, kChunkSize> slots;
+    };
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  };
+
   sim::Engine* engine_;
   cbp::Transport* transport_;
   MpiParams params_;
   std::uint64_t next_ep_ = 1;
   std::uint64_t next_context_ = 1;
-  std::unordered_map<EpId, std::shared_ptr<Endpoint>> endpoints_;
-  // node -> endpoints homed there (NIC demux).
+  EndpointTable endpoints_;
+  // node -> endpoints homed there (NIC demux); touched only at endpoint
+  // creation (partition 0 / setup).
   std::unordered_map<hw::NodeId, std::vector<Endpoint*>> by_node_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, ContextId> context_memo_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, SpawnResult> spawn_memo_;

@@ -41,9 +41,7 @@ struct BridgeParams {
 class BridgeFabric final : public Fabric {
  public:
   BridgeFabric(sim::Engine& engine, std::string name, BridgeParams params)
-      : Fabric(engine, std::move(name)),
-        params_(params),
-        shards_(util::kMaxLanes) {
+      : Fabric(engine, std::move(name)), params_(params) {
     DEEP_EXPECT(params_.bandwidth_bytes_per_sec > 0,
                 "BridgeFabric: bandwidth must be positive");
     DEEP_EXPECT(params_.latency.ps > 0,
@@ -53,28 +51,21 @@ class BridgeFabric final : public Fabric {
 
   const BridgeParams& params() const { return params_; }
 
-  /// Every message pays at least the constant bridge latency.
+  /// Every message pays at least the constant bridge latency — uniformly,
+  /// for every partition pair with bridge endpoints (the base per-pair
+  /// lookahead already reports pairs without endpoints as unconstrained).
   sim::Duration lookahead() const override { return params_.latency; }
 
   /// Attaches a node that lives on engine partition `p` (see
   /// sim::Engine::spawn_on).  Plain attach() places the node on partition 0.
   Nic& attach_in(hw::NodeId node, std::uint32_t p) {
-    DEEP_EXPECT(p < engine_->partitions(),
-                "BridgeFabric::attach_in: no such partition");
     Nic& nic = Fabric::attach(node);
-    partition_of_[node] = p;
+    set_node_partition(node, p);
     tx_free_.try_emplace(node);  // pre-created: send() must not mutate the map
     return nic;
   }
 
   Nic& attach(hw::NodeId node) override { return attach_in(node, 0); }
-
-  std::uint32_t partition_of(hw::NodeId node) const {
-    auto it = partition_of_.find(node);
-    DEEP_EXPECT(it != partition_of_.end(),
-                "BridgeFabric::partition_of: node not attached");
-    return it->second;
-  }
 
   void send(Message msg, Service svc) override {
     DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
@@ -93,41 +84,9 @@ class BridgeFabric final : public Fabric {
       tx = tx_start + wire;
       deliver = tx_start + wire + params_.latency;
     }
-
-    // Book into this lane's shard + the (already per-lane) metric handles.
-    FabricStats& shard = shards_[util::exec_lane()];
-    shard.messages += 1;
-    shard.bytes += msg.size_bytes;
-    shard.delivery_us.add((deliver - now).micros());
-    m_messages_.add(1);
-    m_bytes_.add(msg.size_bytes);
-    m_delivery_ns_.record((deliver - now).ps / 1000);
-    if (auto* tracer = engine_->tracer()) {
-      tracer->span(name_ + " wire",
-                   std::to_string(msg.src) + "->" + std::to_string(msg.dst) +
-                       " " + std::to_string(msg.size_bytes) + "B",
-                   now, deliver, "net");
-    }
-
-    const std::uint32_t dst_part = partition_of(msg.dst);
-    auto* nic = nics_.at(msg.dst).get();
-    engine_->schedule_on(dst_part, deliver,
-                         [nic, m = PooledMessage(std::move(msg))]() mutable {
-                           nic->deliver(m.take());
-                         });
-  }
-
-  /// Merged traffic statistics (shadowing the base accessor: the bridge
-  /// books into per-lane shards, so the merged view is computed on read).
-  FabricStats stats() const {
-    FabricStats out;
-    for (const FabricStats& shard : shards_) {
-      out.messages += shard.messages;
-      out.bytes += shard.bytes;
-      out.messages_dropped += shard.messages_dropped;
-      out.delivery_us.merge(shard.delivery_us);
-    }
-    return out;
+    // Booking and the cross-partition delivery hop both live in the base:
+    // per-lane stat shards, and schedule_on to the destination's partition.
+    deliver_at(deliver, std::move(msg));
   }
 
   sim::Duration serialisation(std::int64_t bytes) const {
@@ -137,9 +96,7 @@ class BridgeFabric final : public Fabric {
 
  private:
   BridgeParams params_;
-  std::unordered_map<hw::NodeId, std::uint32_t> partition_of_;
   std::unordered_map<hw::NodeId, sim::TimePoint> tx_free_;
-  std::vector<FabricStats> shards_;  // indexed by execution lane
 };
 
 }  // namespace deep::net

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "net/fabric.hpp"
+#include "net/pool.hpp"
 
 namespace deep::net {
 
@@ -35,8 +36,19 @@ class CrossbarFabric final : public Fabric {
   const CrossbarParams& params() const { return params_; }
 
   /// Every path pays at least the constant core latency (serialisation and
-  /// queueing only add to it).
+  /// queueing only add to it) — the bound holds per partition pair too, so
+  /// the base per-pair lookahead (this for pairs with endpoints on both
+  /// sides, unconstrained otherwise) is sound.
   sim::Duration lookahead() const override { return params_.latency; }
+
+  /// Endpoint link slots are pre-created here so the partitioned send path
+  /// never mutates the maps (rehash would race across workers).
+  Nic& attach(hw::NodeId node) override {
+    Nic& nic = Fabric::attach(node);
+    tx_free_.try_emplace(node);
+    rx_free_.try_emplace(node);
+    return nic;
+  }
 
   void send(Message msg, Service svc) override {
     DEEP_EXPECT(attached(msg.src) && attached(msg.dst),
@@ -48,11 +60,15 @@ class CrossbarFabric final : public Fabric {
 
     if (svc == Service::Control) {
       // Priority virtual channel: pure latency, no queueing behind bulk.
+      // Analytic, so partitioning-independent; the base deliver_at handles
+      // a cross-partition destination.
       deliver_at(now + params_.latency + wire, std::move(msg));
       return;
     }
 
-    sim::TimePoint& tx = tx_free_[msg.src];
+    // Injection booking is owned by the source endpoint's partition (send()
+    // executes there — every caller injects from its own node).
+    sim::TimePoint& tx = tx_free_.at(msg.src);
     const sim::TimePoint tx_start = std::max(now, tx);
     const sim::TimePoint tx_end = tx_start + wire;
     tx = tx_end;
@@ -61,7 +77,26 @@ class CrossbarFabric final : public Fabric {
     m_tx_wait_ns_.record((tx_start - now).ps / 1000);
 
     const sim::TimePoint nominal = tx_end + params_.latency;
-    sim::TimePoint& rx = rx_free_[msg.dst];
+    if (partitioned()) {
+      const std::uint32_t dst_part = partition_of(msg.dst);
+      if (dst_part != partition_of(msg.src)) {
+        // Ejection booking belongs to the destination's partition: continue
+        // there at the nominal arrival (>= now + latency, i.e. at or beyond
+        // the pair lookahead, so the hop is always inside the safe window).
+        engine_->schedule_on(
+            dst_part, nominal,
+            [this, wire, m = PooledMessage(std::move(msg))]() mutable {
+              Message msg = m.take();
+              sim::TimePoint& rx = rx_free_.at(msg.dst);
+              const sim::TimePoint deliver =
+                  std::max(engine_->now(), rx + wire);
+              rx = deliver;
+              deliver_at(deliver, std::move(msg));
+            });
+        return;
+      }
+    }
+    sim::TimePoint& rx = rx_free_.at(msg.dst);
     const sim::TimePoint deliver = std::max(nominal, rx + wire);
     rx = deliver;
 

@@ -11,18 +11,22 @@
 // losses into error codes).  With no dead links and no drop hook installed
 // the fault path costs one branch per send.
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "net/message.hpp"
 #include "net/nic.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
+#include "util/lane.hpp"
 
 namespace deep::net {
 
@@ -32,6 +36,13 @@ struct FabricStats {
   std::int64_t bytes = 0;
   std::int64_t messages_dropped = 0;  // lost to dead links / injected drops
   sim::Summary delivery_us;  // end-to-end per-message latency in microseconds
+
+  void merge(const FabricStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    messages_dropped += other.messages_dropped;
+    delivery_us.merge(other.delivery_us);
+  }
 };
 
 class Fabric {
@@ -78,11 +89,97 @@ class Fabric {
   /// A conservative lower bound on the delay between injecting any message
   /// and its delivery: every send() schedules its NIC callback no earlier
   /// than now() + lookahead().  The parallel engine derives its safe-window
-  /// width from the minimum lookahead over all partition-crossing fabrics
-  /// (docs/parallel_engine.md).  The base fabric promises nothing.
+  /// widths from the fabrics' lookaheads (docs/parallel_engine.md).  The
+  /// base fabric promises nothing.
   virtual sim::Duration lookahead() const { return sim::Duration{0}; }
 
-  const FabricStats& stats() const { return stats_; }
+  /// Per-partition-pair lower bound: no send() executing on partition
+  /// `src_part` schedules anything onto partition `dst_part` earlier than
+  /// now() + lookahead(src_part, dst_part).  Topology-aware fabrics (torus,
+  /// fat tree) tighten this with actual route distance; the base promise is
+  /// the uniform lookahead when both partitions have nodes on this fabric
+  /// and "unconstrained" when either has none (such pairs never interact
+  /// through this fabric).  net::install_pair_lookahead() folds the per-pair
+  /// minima over all fabrics into the engine.
+  virtual sim::Duration lookahead(std::uint32_t src_part,
+                                  std::uint32_t dst_part) const {
+    if (src_part == dst_part || !has_partition_nodes(src_part) ||
+        !has_partition_nodes(dst_part))
+      return sim::kUnconstrainedLookahead;
+    return lookahead();
+  }
+
+  /// Merged traffic statistics (booked into per-execution-lane shards, so
+  /// partitioned sends never contend; computed on read).
+  FabricStats stats() const {
+    FabricStats out;
+    for (const FabricStats& shard : shards_) out.merge(shard);
+    return out;
+  }
+
+  // -- partition placement ----------------------------------------------------
+
+  /// Declares that `node` lives on engine partition `p` (see
+  /// sim::Engine::set_partitions).  Nodes default to partition 0.  Call
+  /// before the run, after attach(); deliveries then cross partitions via
+  /// Engine::schedule_on and the fabric's lookahead(p, q) contract applies.
+  void set_node_partition(hw::NodeId node, std::uint32_t p) {
+    DEEP_EXPECT(attached(node), "Fabric::set_node_partition: not attached");
+    DEEP_EXPECT(p < engine_->partitions(),
+                "Fabric::set_node_partition: no such partition");
+    auto [it, inserted] = node_partition_.try_emplace(node, p);
+    if (!inserted) it->second = p;
+    on_node_partition(node, p);
+  }
+
+  /// The partition `node`'s NIC events run on (0 unless assigned).
+  std::uint32_t partition_of(hw::NodeId node) const {
+    auto it = node_partition_.find(node);
+    return it == node_partition_.end() ? 0 : it->second;
+  }
+
+  /// True once any node has an explicit partition assignment.
+  bool partitioned() const { return !node_partition_.empty(); }
+
+  /// True when at least one attached node lives on partition `p`.
+  bool has_partition_nodes(std::uint32_t p) const {
+    std::size_t assigned = 0;
+    for (const auto& [node, part] : node_partition_) {
+      (void)node;
+      if (part == p) return true;
+      ++assigned;
+    }
+    // Unassigned nodes default to partition 0.
+    return p == 0 && assigned < nics_.size();
+  }
+
+  // -- topology introspection (for auto-partitioning) -------------------------
+
+  /// Attached node ids in ascending order.
+  std::vector<hw::NodeId> attached_ids() const {
+    std::vector<hw::NodeId> ids;
+    ids.reserve(nics_.size());
+    for (const auto& [node, nic] : nics_) {
+      (void)nic;
+      ids.push_back(node);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Locality edges between attached nodes, for net::auto_partition():
+  /// nodes joined by an edge are cheap to co-locate.  Topology-aware
+  /// fabrics override this with their real adjacency; the distance-uniform
+  /// base offers a chain in id order (any contiguous split is as good as
+  /// any other).
+  virtual std::vector<std::pair<hw::NodeId, hw::NodeId>> topology_edges()
+      const {
+    std::vector<hw::NodeId> ids = attached_ids();
+    std::vector<std::pair<hw::NodeId, hw::NodeId>> edges;
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i)
+      edges.emplace_back(ids[i], ids[i + 1]);
+    return edges;
+  }
 
   // -- fault injection --------------------------------------------------------
 
@@ -119,6 +216,17 @@ class Fabric {
   }
 
  protected:
+  /// Hook for subclasses that cache partition-derived state (the torus
+  /// rebuilds its coordinate-ownership map).  Called under set_node_partition.
+  virtual void on_node_partition(hw::NodeId node, std::uint32_t p) {
+    (void)node;
+    (void)p;
+  }
+
+  /// This execution lane's statistics shard.  A partition's events run on
+  /// exactly one lane per window, so shard booking is race-free.
+  FabricStats& stats_shard() { return shards_[util::exec_lane()]; }
+
   /// True when the path this fabric would route src->dst over is usable.
   /// The base implementation knows only the endpoints; topology-aware
   /// fabrics (the torus) override it to walk the actual route.  Called only
@@ -143,7 +251,7 @@ class Fabric {
 
   /// Books and reports a dropped message.
   void drop(Message&& msg) {
-    stats_.messages_dropped += 1;
+    stats_shard().messages_dropped += 1;
     m_dropped_.add(1);
     if (auto* tracer = engine_->tracer()) {
       tracer->instant(name_ + " wire",
@@ -157,9 +265,10 @@ class Fabric {
 
   /// Schedules delivery at absolute time `at` and books the statistics.
   void deliver_at(sim::TimePoint at, Message msg) {
-    stats_.messages += 1;
-    stats_.bytes += msg.size_bytes;
-    stats_.delivery_us.add((at - engine_->now()).micros());
+    FabricStats& shard = stats_shard();
+    shard.messages += 1;
+    shard.bytes += msg.size_bytes;
+    shard.delivery_us.add((at - engine_->now()).micros());
     m_messages_.add(1);
     m_bytes_.add(msg.size_bytes);
     m_delivery_ns_.record((at - engine_->now()).ps / 1000);
@@ -173,7 +282,15 @@ class Fabric {
     // (16 bytes), so the event fits the engine's inline buffer and the whole
     // schedule-deliver round trip allocates nothing in steady state.
     auto* nic = nics_.at(msg.dst).get();
-    engine_->schedule_at(at,
+    if (node_partition_.empty()) {
+      // Unpartitioned fabric: historical path, bit-identical scheduling.
+      engine_->schedule_at(at,
+                           [nic, m = PooledMessage(std::move(msg))]() mutable {
+                             nic->deliver(m.take());
+                           });
+      return;
+    }
+    engine_->schedule_on(partition_of(msg.dst), at,
                          [nic, m = PooledMessage(std::move(msg))]() mutable {
                            nic->deliver(m.take());
                          });
@@ -182,7 +299,9 @@ class Fabric {
   sim::Engine* engine_;
   std::string name_;
   std::unordered_map<hw::NodeId, std::unique_ptr<Nic>> nics_;
-  FabricStats stats_;
+  std::vector<FabricStats> shards_ =
+      std::vector<FabricStats>(util::kMaxLanes);  // indexed by execution lane
+  std::unordered_map<hw::NodeId, std::uint32_t> node_partition_;
   obs::Counter m_messages_;
   obs::Counter m_bytes_;
   obs::Counter m_dropped_;

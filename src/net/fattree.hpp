@@ -14,6 +14,8 @@
 // head pays per-switch latency and queues on busy links; every traversed
 // link is reserved until the tail passes.
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -42,9 +44,30 @@ class FatTreeFabric final : public Fabric {
   /// Switch hops between two attached nodes (1 same leaf, 3 cross leaf).
   int hops(hw::NodeId src, hw::NodeId dst) const;
 
+  /// Cheapest event a fat-tree send can place on another partition: one
+  /// adapter plus a single switch hop (the same-leaf case).
+  sim::Duration lookahead() const override {
+    return params_.adapter_latency + params_.switch_latency;
+  }
+
+  /// Leaf-distance pair lookahead: one switch when the two partitions share
+  /// a leaf switch, the full three-switch spine crossing otherwise.
+  sim::Duration lookahead(std::uint32_t src_part,
+                          std::uint32_t dst_part) const override;
+
+  /// Same-leaf adjacency between attached nodes — the locality graph
+  /// net::auto_partition() grows blocks from.
+  std::vector<std::pair<hw::NodeId, hw::NodeId>> topology_edges()
+      const override;
+
   sim::Duration serialisation(std::int64_t bytes) const {
     return sim::from_seconds(static_cast<double>(bytes) /
                              params_.bandwidth_bytes_per_sec);
+  }
+
+ protected:
+  void on_node_partition(hw::NodeId, std::uint32_t) override {
+    partition_dirty_.store(true, std::memory_order_release);
   }
 
  private:
@@ -59,10 +82,30 @@ class FatTreeFabric final : public Fabric {
              1);
   }
 
+  /// Rebuilds per-leaf partition ownership and the pair min-switch table
+  /// when node partitions changed.
+  void ensure_partitions() const;
+  void refresh_partitions() const;
+
+  /// The partition owning every node of `leaf`, or kMixedLeaf if the leaf
+  /// hosts nodes from several partitions (its trunks are then analytic —
+  /// never booked — in partitioned runs).
+  static constexpr std::uint32_t kMixedLeaf = 0xFFFFFFFFu;
+
   FatTreeParams params_;
   std::unordered_map<hw::NodeId, int> leaves_;
+  // Link booking.  Entries are pre-created at attach so the partitioned
+  // send path never rehashes; each entry is only ever touched by the
+  // partition owning it (node links by the endpoint's partition, trunks by
+  // their leaf's uniform owner).
   std::unordered_map<std::int64_t, sim::TimePoint> link_free_;
   int attached_count_ = 0;
+  // Partition geometry (lazy, guarded like TorusFabric's).
+  mutable std::vector<std::uint32_t> leaf_part_;     // leaf -> owner/kMixedLeaf
+  mutable std::vector<char> pair_share_leaf_;        // P*P co-located flags
+  mutable std::vector<char> part_present_;           // partition has nodes
+  mutable std::atomic<bool> partition_dirty_{false};
+  mutable std::mutex partition_mu_;
 };
 
 }  // namespace deep::net

@@ -38,6 +38,13 @@ void FaultPlan::arm() {
   DEEP_EXPECT(!armed_, "FaultPlan::arm: already armed");
   armed_ = true;
   if (!spec_.active()) return;
+  // Fault state (down links, the shared drop RNG, gateway control) is
+  // partition-agnostic shared mutation; an active plan requires the serial
+  // engine.  Partitioned chaos coverage runs with workers > 1 at
+  // partitions == 1, which exercises the same code paths.
+  DEEP_EXPECT(engine_->partitions() == 1,
+              "FaultPlan::arm: active fault plans require a single-partition "
+              "engine (fault state is shared across partitions)");
   DEEP_EXPECT(spec_.gateways.empty() || gateway_control_,
               "FaultPlan::arm: gateway events without a gateway control hook");
   for (const LinkEvent& ev : spec_.links) {

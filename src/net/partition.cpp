@@ -1,0 +1,73 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/partition.hpp"
+
+namespace deep::net {
+
+std::vector<std::pair<hw::NodeId, std::uint32_t>> auto_partition(
+    Fabric& fabric, std::uint32_t parts, const AutoPartitionOptions& options) {
+  DEEP_EXPECT(parts >= 1, "auto_partition: parts must be >= 1");
+
+  std::vector<hw::NodeId> ids = fabric.attached_ids();
+  std::vector<char> is_pinned(ids.size(), 0);
+  std::unordered_map<hw::NodeId, std::size_t> index;
+  index.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) index[ids[i]] = i;
+  for (const hw::NodeId node : options.pinned) {
+    auto it = index.find(node);
+    DEEP_EXPECT(it != index.end(), "auto_partition: pinned node not attached");
+    is_pinned[it->second] = 1;
+  }
+
+  // Compact the grown (non-pinned) nodes into graph vertices.
+  std::vector<hw::NodeId> grown;
+  std::vector<std::size_t> vertex_of(ids.size(), 0);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (!is_pinned[i]) {
+      vertex_of[i] = grown.size();
+      grown.push_back(ids[i]);
+    }
+  DEEP_EXPECT(parts <= grown.size(),
+              "auto_partition: more partitions than partitionable nodes");
+
+  sim::PartitionGraph graph;
+  graph.vertices = grown.size();
+  for (const auto& [a, b] : fabric.topology_edges()) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    if (ia == index.end() || ib == index.end()) continue;
+    if (is_pinned[ia->second] || is_pinned[ib->second]) continue;
+    graph.edges.emplace_back(vertex_of[ia->second], vertex_of[ib->second]);
+  }
+
+  const std::vector<std::uint32_t> block = sim::partition_graph(graph, parts);
+
+  std::vector<std::pair<hw::NodeId, std::uint32_t>> assignment;
+  assignment.reserve(ids.size());
+  for (std::size_t v = 0; v < grown.size(); ++v)
+    assignment.emplace_back(grown[v], options.first_partition + block[v]);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (is_pinned[i]) assignment.emplace_back(ids[i], options.pin_to);
+  std::sort(assignment.begin(), assignment.end());
+  for (const auto& [node, p] : assignment) fabric.set_node_partition(node, p);
+  return assignment;
+}
+
+void install_pair_lookahead(sim::Engine& engine,
+                            const std::vector<const Fabric*>& fabrics) {
+  const std::uint32_t nparts = engine.partitions();
+  for (std::uint32_t p = 0; p < nparts; ++p)
+    for (std::uint32_t q = 0; q < nparts; ++q) {
+      if (p == q) continue;
+      sim::Duration la = sim::kUnconstrainedLookahead;
+      for (const Fabric* fabric : fabrics)
+        la = std::min(la, fabric->lookahead(p, q),
+                      [](sim::Duration a, sim::Duration b) { return a.ps < b.ps; });
+      engine.set_lookahead(p, q, la);
+    }
+}
+
+}  // namespace deep::net

@@ -1,0 +1,48 @@
+#pragma once
+// Topology-driven auto-partitioning: the fabric-facing half.
+//
+// auto_partition() reads a fabric's locality graph (Fabric::topology_edges)
+// and splits its attached nodes into balanced blocks with
+// sim::partition_graph, then applies the assignment via
+// Fabric::set_node_partition.  Gateways (or any node that must stay with
+// the control plane) are pinned instead of grown.
+//
+// install_pair_lookahead() derives the engine's per-(src,dst) lookahead
+// matrix from the fabrics that actually carry cross-partition traffic: for
+// each pair it takes the minimum of every fabric's route-distance bound
+// (Fabric::lookahead(p, q)), with pairs no fabric connects left
+// unconstrained.  Together the two calls are everything `deepsim
+// --partitions auto` needs (docs/parallel_engine.md).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace deep::net {
+
+struct AutoPartitionOptions {
+  /// Engine partition of the first grown block; blocks occupy
+  /// [first_partition, first_partition + parts).
+  std::uint32_t first_partition = 0;
+  /// Nodes excluded from block growth and assigned to `pin_to` instead
+  /// (e.g. gateway nodes that belong with the cluster-side control plane).
+  std::vector<hw::NodeId> pinned;
+  std::uint32_t pin_to = 0;
+};
+
+/// Splits `fabric`'s attached nodes (minus pinned ones) into `parts`
+/// balanced topology-driven blocks and applies the assignment to the
+/// fabric.  Returns the (node, partition) assignment actually applied,
+/// pinned nodes included — deterministic for a fixed fabric and options.
+std::vector<std::pair<hw::NodeId, std::uint32_t>> auto_partition(
+    Fabric& fabric, std::uint32_t parts, const AutoPartitionOptions& options = {});
+
+/// Fills the engine's per-pair lookahead matrix: for every ordered partition
+/// pair the minimum over `fabrics` of that fabric's route-distance lookahead
+/// bound.  Call after all partitions are assigned, before Engine::run.
+void install_pair_lookahead(sim::Engine& engine,
+                            const std::vector<const Fabric*>& fabrics);
+
+}  // namespace deep::net

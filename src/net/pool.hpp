@@ -36,6 +36,7 @@
 //  * releasing resets payload references so pooled slots never pin buffers;
 //  * pools only grow to the high-water mark of in-flight objects.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -43,6 +44,8 @@
 #include <memory>
 #include <span>
 #include <vector>
+
+#include "util/lane.hpp"
 
 namespace deep::net {
 
@@ -240,12 +243,24 @@ class PoolAllocator {
 
  private:
   static std::vector<void*>& free_list() {
-    // Never destroyed: parked blocks must stay reachable through the list at
-    // exit, or leak checkers would (rightly) report them as lost.
-    // thread_local so MPI layers on different parallel-engine workers never
-    // contend (a block allocated on one thread may be freed on another, but
-    // blocks are type-erased raw storage, so adoption is harmless).
-    static thread_local auto* fl = new std::vector<void*>();
+    // One list per execution lane, reachable forever through a static slot
+    // table (same pattern as BufferPool/MessagePool in pool.cpp): parked
+    // blocks must stay reachable at exit or leak checkers would (rightly)
+    // report them as lost.  thread_local storage would not do — a worker
+    // thread's exit drops its TLS pointer and strands the parked blocks.
+    // The lane discipline (one thread drives a lane at a time) keeps each
+    // list single-threaded; a block freed on a different lane than it was
+    // allocated on is type-erased raw storage, so adoption is harmless.
+    static std::array<std::atomic<std::vector<void*>*>, util::kMaxLanes>
+        slots{};
+    std::atomic<std::vector<void*>*>& slot = slots[util::exec_lane()];
+    std::vector<void*>* fl = slot.load(std::memory_order_acquire);
+    if (fl == nullptr) {
+      auto* fresh = new std::vector<void*>();
+      if (slot.compare_exchange_strong(fl, fresh, std::memory_order_acq_rel))
+        return *fresh;
+      delete fresh;  // lost a (contract-violating) race; use the winner
+    }
     return *fl;
   }
 };

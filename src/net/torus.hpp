@@ -25,7 +25,10 @@
 // unchanged by the memoisation.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -64,11 +67,18 @@ class TorusFabric final : public Fabric {
   /// two unavoidable hops (injection and ejection link traversal).  Queueing,
   /// route hops, serialisation and retransmission only add to this.
   sim::Duration lookahead() const override {
-    const sim::Duration engine_min =
-        params_.velo_injection < params_.rma_setup ? params_.velo_injection
-                                                   : params_.rma_setup;
-    return engine_min + params_.hop_latency * 2;
+    return engine_min() + params_.hop_latency * 2;
   }
+
+  /// Route-distance-derived pair lookahead: nothing injected on partition
+  /// `src_part` reaches partition `dst_part` earlier than the engine setup
+  /// minimum plus one hop per torus link separating the two partitions'
+  /// coordinate blocks (plus the injection hop).  Partitions that own no
+  /// torus coordinates are unconstrained.  See docs/parallel_engine.md for
+  /// why the partitioned contention model (endpoint-segmented booking)
+  /// preserves this bound.
+  sim::Duration lookahead(std::uint32_t src_part,
+                          std::uint32_t dst_part) const override;
 
   /// Attaches the node at the next free coordinate (lexicographic order).
   Nic& attach(hw::NodeId node) override;
@@ -88,10 +98,20 @@ class TorusFabric final : public Fabric {
   /// tests; uses the same memoised table as send()/route_up().
   std::vector<int> route_linears(hw::NodeId src, hw::NodeId dst) const;
 
-  /// Total link-level retransmissions performed so far.
-  std::int64_t retransmissions() const { return retransmissions_; }
-  /// Messages that traversed at least one retransmitted packet.
-  std::int64_t affected_messages() const { return affected_messages_; }
+  /// Total link-level retransmissions performed so far (all lanes).
+  std::int64_t retransmissions() const;
+  /// Messages that traversed at least one retransmitted packet (all lanes).
+  std::int64_t affected_messages() const;
+
+  /// Torus adjacency between attached nodes (distance-1 coordinate pairs),
+  /// the locality graph net::auto_partition() grows blocks from.
+  std::vector<std::pair<hw::NodeId, hw::NodeId>> topology_edges()
+      const override;
+
+  /// The partition owning a coordinate: its attached node's partition, or
+  /// the nearest attached coordinate's (ties to the lowest linear index).
+  /// Exposed for the auto-partitioning tests.
+  std::uint32_t coord_partition(TorusCoord c) const;
 
   sim::Duration serialisation(std::int64_t bytes) const {
     return sim::from_seconds(static_cast<double>(bytes) /
@@ -127,13 +147,40 @@ class TorusFabric final : public Fabric {
   /// link-state check itself is live — never cached.
   bool route_up(hw::NodeId src, hw::NodeId dst) const override;
 
+  /// Partition assignments change coordinate ownership and the pair-distance
+  /// matrix; recompute both lazily on the next query.
+  void on_node_partition(hw::NodeId, std::uint32_t) override {
+    partition_dirty_.store(true, std::memory_order_release);
+  }
+
  private:
   /// One memoised route: `count` packed dimension-link indices starting at
-  /// route_links_[first].  Endpoint-only pairs (src == dst) have count 0.
+  /// the lane's route_links[first].  Endpoint-only pairs (src == dst) have
+  /// count 0.
   struct RouteEntry {
     std::uint32_t first = 0;
     std::uint32_t count = 0;
   };
+
+  /// Mutable send-path state, replicated per execution lane so partitioned
+  /// runs never share it across workers.  Serial runs (and all existing
+  /// traces) use lane 0 exclusively: lane 0 is seeded with params.seed, so
+  /// single-partition behaviour is bit-identical to the pre-partitioned
+  /// fabric.  Other lanes derive their error-sampling streams from the seed
+  /// and the lane index — deterministic for a fixed partitioning, whatever
+  /// the worker count.
+  struct LaneState {
+    // Route memo: key (src_lin << 32) | dst_lin -> entry into this lane's
+    // link arena.  Routes depend only on the fixed geometry, so entries are
+    // never invalidated (lanes redundantly rebuild, never disagree).
+    std::unordered_map<std::uint64_t, RouteEntry> route_memo;
+    std::vector<std::int64_t> route_links;  // arena of packed links
+    util::Rng rng{0};
+    std::int64_t retransmissions = 0;
+    std::int64_t affected_messages = 0;
+  };
+
+  LaneState& lane_state() const { return lanes_[util::exec_lane()]; }
 
   int linear(TorusCoord c) const;
   int linear_of(hw::NodeId node) const;
@@ -145,7 +192,13 @@ class TorusFabric final : public Fabric {
     return pack(lin, dim * 2 + (positive ? 0 : 1));
   }
 
-  /// The memoised dimension-ordered route src->dst (built on first use).
+  sim::Duration engine_min() const {
+    return params_.velo_injection < params_.rma_setup ? params_.velo_injection
+                                                      : params_.rma_setup;
+  }
+
+  /// The memoised dimension-ordered route src->dst (built on first use,
+  /// per execution lane).
   const RouteEntry& route_entry(int src_lin, int dst_lin) const;
 
   /// Signed shortest displacement along `dim` from `from` to `to`.
@@ -153,20 +206,39 @@ class TorusFabric final : public Fabric {
 
   sim::Duration retransmission_penalty(std::int64_t bytes, int nlinks);
 
+  /// Rebuilds coord_part_ (coordinate -> owning partition) and pair_hops_
+  /// (partition-pair min hop distance) from the current node partitions.
+  void refresh_partitions() const;
+  /// refresh_partitions() if dirty, serialised for the (setup-time) case of
+  /// a first query racing across lanes.
+  void ensure_partitions() const;
+  std::uint32_t coord_owner(int lin) const {
+    return coord_part_.empty() ? 0 : coord_part_[lin];
+  }
+
+  /// Destination-side continuation of a cross-partition send: books the
+  /// destination-owned route suffix and the ejection link, then delivers.
+  /// Runs as an event on the destination partition at the analytic head
+  /// arrival time.
+  void deliver_cross(Message msg, int src_lin, int dst_lin,
+                     std::uint32_t suffix_off);
+
   TorusParams params_;
   int capacity_ = 0;
   std::vector<TorusCoord> coord_at_;   // linear -> coordinate (fixed)
   std::vector<hw::NodeId> node_at_;    // linear -> node (kInvalidNode if free)
   std::unordered_map<hw::NodeId, int> linear_of_;  // node -> linear
-  std::vector<sim::TimePoint> link_free_;  // directed-link busy-until times
-  // Route memo: key (src_lin << 32) | dst_lin -> entry into the shared link
-  // arena.  Routes depend only on the fixed geometry, so entries are never
-  // invalidated.  Mutable: route_up() is const but may build a route.
-  mutable std::unordered_map<std::uint64_t, RouteEntry> route_memo_;
-  mutable std::vector<std::int64_t> route_links_;  // arena of packed links
-  util::Rng rng_;
-  std::int64_t retransmissions_ = 0;
-  std::int64_t affected_messages_ = 0;
+  // Directed-link busy-until times.  Shared across partitions, but each
+  // entry is written only by the partition owning its router's coordinate
+  // (endpoint-segmented booking), so partitioned access is race-free.
+  std::vector<sim::TimePoint> link_free_;
+  // Per-execution-lane send state (deque: stable addresses, no moves).
+  mutable std::deque<LaneState> lanes_;
+  // Partition geometry, rebuilt by refresh_partitions() when dirty.
+  mutable std::vector<std::uint32_t> coord_part_;  // linear -> owner partition
+  mutable std::vector<std::int64_t> pair_hops_;    // P*P min hops, -1 = none
+  mutable std::atomic<bool> partition_dirty_{false};
+  mutable std::mutex partition_mu_;
   int next_linear_ = 0;
   // Metrics (null handles when no registry; see Fabric).
   obs::Counter m_hops_;             // torus dimension hops traversed

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -22,60 +23,71 @@ const char* kind_name(int kind) {
 
 }  // namespace
 
-const Registry::Entry* Registry::find(std::string_view name) const {
+const Registry::Entry* Registry::find_locked(std::string_view name) const {
   // Linear scan: registration and by-name reads are cold paths and the
-  // registry holds at most a few hundred instruments.
+  // registry holds at most a few thousand instruments.
   for (const Entry& e : entries_)
     if (e.name == name) return &e;
   return nullptr;
 }
 
-Registry::Entry& Registry::get_or_create(std::string_view name, Kind kind) {
+std::vector<std::size_t> Registry::sorted_order_locked() const {
+  std::vector<std::size_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return entries_[a].name < entries_[b].name;
+  });
+  return order;
+}
+
+std::uint32_t Registry::get_or_create(std::string_view name, Kind kind) {
   DEEP_EXPECT(!name.empty(), "Registry: empty metric name");
-  if (const Entry* found = find(name)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* found = find_locked(name)) {
     DEEP_EXPECT(found->kind == kind,
                 "Registry: '" + std::string(name) + "' already registered as " +
                     kind_name(static_cast<int>(found->kind)));
-    return const_cast<Entry&>(*found);
+    return found->slot;
   }
   std::uint32_t slot = 0;
   switch (kind) {
     case Kind::Counter:
       slot = static_cast<std::uint32_t>(lanes_[0]->counters.size());
-      for (auto& lane : lanes_) lane->counters.emplace_back();
+      for (auto& lane : lanes_) lane->counters.ensure(slot + 1);
       break;
     case Kind::Gauge:
       slot = static_cast<std::uint32_t>(lanes_[0]->gauges.size());
-      for (auto& lane : lanes_) lane->gauges.emplace_back();
+      for (auto& lane : lanes_) lane->gauges.ensure(slot + 1);
       break;
     case Kind::Histogram:
       slot = static_cast<std::uint32_t>(lanes_[0]->hists.size());
-      for (auto& lane : lanes_) lane->hists.emplace_back();
+      for (auto& lane : lanes_) lane->hists.ensure(slot + 1);
       break;
   }
   entries_.push_back(Entry{std::string(name), kind, slot});
-  return entries_.back();
+  return slot;
 }
 
 Counter Registry::counter(std::string_view name) {
-  return Counter(this, get_or_create(name, Kind::Counter).slot);
+  return Counter(this, get_or_create(name, Kind::Counter));
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  return Gauge(this, get_or_create(name, Kind::Gauge).slot);
+  return Gauge(this, get_or_create(name, Kind::Gauge));
 }
 
 Histogram Registry::histogram(std::string_view name) {
-  return Histogram(this, get_or_create(name, Kind::Histogram).slot);
+  return Histogram(this, get_or_create(name, Kind::Histogram));
 }
 
 void Registry::ensure_lanes(std::uint32_t n) {
   DEEP_EXPECT(n <= util::kMaxLanes, "Registry: lane count exceeds kMaxLanes");
+  std::lock_guard<std::mutex> lock(mu_);
   while (lanes_.size() < n) {
     auto lane = std::make_unique<Lane>();
-    lane->counters.resize(lanes_[0]->counters.size());
-    lane->gauges.resize(lanes_[0]->gauges.size());
-    lane->hists.resize(lanes_[0]->hists.size());
+    lane->counters.ensure(lanes_[0]->counters.size());
+    lane->gauges.ensure(lanes_[0]->gauges.size());
+    lane->hists.ensure(lanes_[0]->hists.size());
     lanes_.push_back(std::move(lane));
   }
 }
@@ -100,7 +112,8 @@ HistogramCell Registry::merged_hist(std::uint32_t slot) const {
 }
 
 std::int64_t Registry::value(std::string_view name) const {
-  const Entry* e = find(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find_locked(name);
   if (!e) return 0;
   switch (e->kind) {
     case Kind::Counter:
@@ -114,10 +127,12 @@ std::int64_t Registry::value(std::string_view name) const {
 }
 
 std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"metrics\":[";
   bool first = true;
-  for (const Entry& e : entries_) {
+  for (const std::size_t i : sorted_order_locked()) {
+    const Entry& e = entries_[i];
     if (!first) os << ',';
     first = false;
     os << "{\"name\":\"" << e.name << "\",\"kind\":\""
@@ -158,12 +173,14 @@ std::string Registry::to_json() const {
 }
 
 util::Table Registry::to_csv_table() const {
+  std::lock_guard<std::mutex> lock(mu_);
   util::Table table({"metric", "field", "value"});
   const auto emit = [&table](const std::string& name, const char* field,
                              std::int64_t v) {
     table.row().add(name).add(field).add(v);
   };
-  for (const Entry& e : entries_) {
+  for (const std::size_t i : sorted_order_locked()) {
+    const Entry& e = entries_[i];
     switch (e.kind) {
       case Kind::Counter:
         emit(e.name, "value", merged_counter(e.slot));
@@ -191,6 +208,7 @@ util::Table Registry::to_csv_table() const {
 }
 
 std::vector<std::string> Registry::sample_columns() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> cols;
   cols.reserve(1 + entries_.size() * 2);
   cols.push_back("time_ps");
@@ -220,6 +238,7 @@ void Registry::append_sample(util::Table& table, sim::TimePoint now) const {
   // when ranks spawn), but the wide table's columns were fixed at creation.
   // Entries only ever append, so the table's columns are a stable prefix of
   // the current registration order: emit values until the row is full.
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t want = table.columns().size();
   std::size_t filled = 1;
   table.row().add(now.ps);

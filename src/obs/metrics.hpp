@@ -31,15 +31,22 @@
 //
 // Registration is idempotent: asking for an existing name (same kind)
 // returns a handle to the same cell, which is how per-rank instruments share
-// system-wide aggregates.  Snapshots list entries in first-registration
-// order — itself deterministic because construction order is.  Registration
-// must happen on the main thread (layer construction or between runs),
-// never from a worker mid-window.
+// system-wide aggregates.  Registration is also legal from any lane at any
+// time — per-rank instruments register when rank fibers start, which on a
+// partitioned engine happens on worker threads: the entry table is guarded
+// by a mutex and cells live in pointer-stable chunked storage, so growth
+// never relocates a cell another lane is recording into.  Because the
+// *order* in which workers first touch a name is scheduling-dependent,
+// snapshot exporters (to_json/to_csv_table) list entries sorted by name —
+// independent of both worker count and interleaving.  The time-series
+// sampler (sample_columns/append_sample) keeps first-registration order,
+// whose append-only property it relies on for stable column prefixes.
 
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +62,42 @@ class Table;
 namespace deep::obs {
 
 class Registry;
+
+/// Pointer-stable cell storage: slots address fixed-size heap chunks through
+/// a preallocated chunk-pointer table (the EndpointTable pattern).  Growth
+/// allocates new chunks but never moves existing cells, so registration —
+/// serialised by the registry mutex — is safe while workers concurrently
+/// record into slots that were already handed out (a handle only reaches a
+/// worker after its chunk exists, via the engine's synchronised queues).
+template <typename T>
+class CellStore {
+ public:
+  static constexpr std::size_t kChunkBits = 6;  // 64 cells per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = 1024;  // 65,536 instruments
+
+  T& operator[](std::size_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+  const T& operator[](std::size_t slot) const {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Grows to hold at least `count` value-initialised cells.
+  void ensure(std::size_t count) {
+    DEEP_EXPECT(count <= kChunkSize * kMaxChunks,
+                "CellStore: instrument limit exceeded");
+    for (std::size_t c = 0; c * kChunkSize < count; ++c)
+      if (!chunks_[c]) chunks_[c] = std::make_unique<T[]>(kChunkSize);
+    if (count > size_) size_ = count;
+  }
+
+ private:
+  std::array<std::unique_ptr<T[]>, kMaxChunks> chunks_;
+  std::size_t size_ = 0;
+};
 
 /// Monotonic event count (messages sent, retries, busy picoseconds...).
 struct CounterCell {
@@ -200,12 +243,16 @@ class Registry {
 
   /// Registers (or finds) the named instrument.  Re-registering an existing
   /// name with the same kind returns a handle to the same cell; a kind
-  /// mismatch is a usage error.
+  /// mismatch is a usage error.  Safe from any lane, including worker
+  /// threads mid-run (see file comment).
   Counter counter(std::string_view name);
   Gauge gauge(std::string_view name);
   Histogram histogram(std::string_view name);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Grows lane storage so partitions [0, n) can record concurrently.
   /// Called by the engine before a multi-partition run; existing cells keep
@@ -218,14 +265,15 @@ class Registry {
   /// path, for tests/reports.
   std::int64_t value(std::string_view name) const;
 
-  /// JSON snapshot, entries in registration order, integers only — two
-  /// replays of a deterministic run produce byte-identical documents.
-  /// Lanes are merged in lane order, so the document is also independent of
-  /// the worker count that produced it.
+  /// JSON snapshot, entries sorted by name, integers only — two replays of
+  /// a deterministic run produce byte-identical documents.  Lanes are
+  /// merged in lane order and the name sort erases registration-order
+  /// differences, so the document is independent of both the worker count
+  /// and the thread interleaving that produced it.
   std::string to_json() const;
 
-  /// Long-format snapshot table (columns: metric, field, value) — the CSV
-  /// exporter and the report section build on this.
+  /// Long-format snapshot table (columns: metric, field, value), sorted by
+  /// metric name — the CSV exporter and the report section build on this.
   util::Table to_csv_table() const;
 
   /// Column names for a wide time-series table: "time_ps" then one column
@@ -247,17 +295,23 @@ class Registry {
     std::uint32_t slot;  // index into the per-lane array of this kind
   };
 
-  /// One lane's cells, indexed by Entry::slot.  Cells are index-addressed
-  /// (handles never hold pointers), so vector growth during registration is
-  /// safe; registration itself must not race with recording workers.
+  /// One lane's cells, indexed by Entry::slot.  Chunked pointer-stable
+  /// storage: growth during registration never relocates cells other lanes
+  /// are recording into (see CellStore).
   struct Lane {
-    std::vector<CounterCell> counters;
-    std::vector<GaugeCell> gauges;
-    std::vector<HistogramCell> hists;
+    CellStore<CounterCell> counters;
+    CellStore<GaugeCell> gauges;
+    CellStore<HistogramCell> hists;
   };
 
-  const Entry* find(std::string_view name) const;
-  Entry& get_or_create(std::string_view name, Kind kind);
+  // Callers hold mu_.
+  const Entry* find_locked(std::string_view name) const;
+  /// Returns the entry's slot by value: a reference into entries_ would
+  /// dangle the moment the registration lock is released (a concurrent
+  /// registration can reallocate the vector).
+  std::uint32_t get_or_create(std::string_view name, Kind kind);
+  /// Entry indices sorted by name, for the snapshot exporters.
+  std::vector<std::size_t> sorted_order_locked() const;
 
   Lane& lane() {
     const std::uint32_t l = util::exec_lane();
@@ -271,6 +325,10 @@ class Registry {
   const GaugeCell& merged_gauge(std::uint32_t slot) const;
   HistogramCell merged_hist(std::uint32_t slot) const;
 
+  // Guards entries_ and cell-storage growth: registration can arrive from
+  // any lane (rank fibers starting on worker threads).  Recording never
+  // takes it — lanes are disjoint and cells never move.
+  mutable std::mutex mu_;
   std::vector<Entry> entries_;  // registration order
   std::vector<std::unique_ptr<Lane>> lanes_;  // lanes_[0] always exists
 };

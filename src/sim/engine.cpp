@@ -140,13 +140,25 @@ void Engine::schedule_on(std::uint32_t p, TimePoint t, EventFn fn) {
     return;
   }
   // Conservative correctness: the destination may already be executing
-  // anywhere inside the current window, so the event must land at or after
-  // its end.  Holds by construction when the modelled latency is >= the
-  // configured lookahead.
-  DEEP_EXPECT(t >= src.limit,
+  // anywhere below its safe horizon, so the event must land at or beyond
+  // it.  Holds by construction when the modelled src->dst latency is >= the
+  // configured (src, dst) pair lookahead: the horizon is
+  // min over peers s of (LB(s) + lookahead(s, dst)) <= now + lookahead.
+  // dst.limit is written only during the plan step (all executors parked at
+  // the barrier) and read-only during execution, so this read is safe.
+  DEEP_EXPECT(t >= dst.limit,
               "Engine::schedule_on: cross-partition event inside the "
-              "lookahead window (latency below Engine lookahead)");
+              "destination's safe window (latency below the configured "
+              "lookahead)");
   par_->ring(src.id, dst.id).push(ParallelState::CrossEvent{t, std::move(fn)});
+}
+
+void Engine::schedule_on_after(std::uint32_t p, TimePoint t, EventFn fn) {
+  if (parallel_run_) {
+    Partition& dst = partition(p);
+    if (&cur_part() != &dst && t < dst.limit) t = dst.limit;
+  }
+  schedule_on(p, t, std::move(fn));
 }
 
 void Engine::schedule_process(Partition& part, TimePoint t, EventKind kind,
@@ -162,15 +174,20 @@ void Engine::set_metrics(obs::Registry* metrics) {
     m_stale_resumes_ = metrics_->counter("sim.stale_resumes");
     m_queue_depth_ = metrics_->gauge("sim.queue_depth");
     m_windows_ = metrics_->counter("sim.windows");
+    m_solo_windows_ = metrics_->counter("sim.solo_windows");
     m_cross_events_ = metrics_->counter("sim.cross_events");
+    m_window_events_ = metrics_->histogram("sim.window_events");
   } else {
     m_events_ = {};
     m_fiber_switches_ = {};
     m_stale_resumes_ = {};
     m_queue_depth_ = {};
     m_windows_ = {};
+    m_solo_windows_ = {};
     m_cross_events_ = {};
+    m_window_events_ = {};
   }
+  m_barrier_wait_.clear();
 }
 
 void Engine::set_fiber_stack_size(std::size_t bytes) {
@@ -189,7 +206,8 @@ void Engine::set_partitions(std::uint32_t count) {
     extra_.push_back(std::make_unique<Partition>());
     extra_.back()->id = p;
   }
-  par_.reset();  // sized per partition count; rebuilt on the next run
+  pair_la_.clear();  // sized per partition count
+  par_.reset();      // sized per partition count; rebuilt on the next run
 }
 
 void Engine::set_workers(std::uint32_t workers) {
@@ -202,6 +220,31 @@ void Engine::set_lookahead(Duration lookahead) {
   DEEP_EXPECT(lookahead.ps >= 0, "Engine::set_lookahead: negative lookahead");
   DEEP_EXPECT(!running_, "Engine::set_lookahead: engine is running");
   lookahead_ = lookahead;
+}
+
+void Engine::set_lookahead(std::uint32_t src, std::uint32_t dst,
+                           Duration lookahead) {
+  const std::uint32_t P = partitions();
+  DEEP_EXPECT(src < P && dst < P,
+              "Engine::set_lookahead: partition index out of range");
+  DEEP_EXPECT(lookahead.ps > 0,
+              "Engine::set_lookahead: pair lookahead must be positive (use "
+              "kUnconstrainedLookahead for pairs with no channel)");
+  DEEP_EXPECT(!running_, "Engine::set_lookahead: engine is running");
+  if (src == dst) return;  // a partition never constrains itself
+  if (pair_la_.empty())
+    pair_la_.assign(static_cast<std::size_t>(P) * P, -1);
+  pair_la_[static_cast<std::size_t>(src) * P + dst] = lookahead.ps;
+}
+
+Duration Engine::lookahead(std::uint32_t src, std::uint32_t dst) const {
+  const std::uint32_t P = partitions();
+  if (src == dst || src >= P || dst >= P) return Duration{0};
+  if (!pair_la_.empty()) {
+    const std::int64_t v = pair_la_[static_cast<std::size_t>(src) * P + dst];
+    if (v >= 0) return Duration{v};
+  }
+  return lookahead_.ps > 0 ? lookahead_ : Duration{0};
 }
 
 FiberStack Engine::acquire_stack() {

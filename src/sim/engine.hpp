@@ -48,16 +48,19 @@
 // simulation into P partitions, each with its own event queue, sequence
 // stream and scheduler fiber; spawn_on()/schedule_on() place work on a
 // partition.  Within a partition everything above still holds.  Across
-// partitions the engine runs a *conservative* parallel schedule: events
-// execute inside a safe window [T, T + lookahead) during which no partition
-// can affect another, so any interleaving of partition execution — one
-// worker thread or eight — produces the identical simulation.  The
-// lookahead is the minimum cross-partition link latency, supplied by the
-// fabric layer via set_lookahead(); cross-partition events are exchanged
-// through per-pair SPSC queues, re-keyed and committed in canonical
-// (time, key) order at window barriers.  Event keys are partition-tagged
-// ((partition << 40) | seq), so partition 0 of a partitioned run and a
-// plain serial run use the very same key values.
+// partitions the engine runs a *conservative* parallel schedule: each
+// partition executes events below a per-partition safe horizon during which
+// no other partition can affect it, so any interleaving of partition
+// execution — one worker thread or eight — produces the identical
+// simulation.  The horizons derive from a per-(src, dst)-pair lookahead
+// matrix (the minimum virtual latency of any src->dst channel, supplied by
+// the fabric layer via set_lookahead(src, dst, d); a single global
+// set_lookahead(d) fills every pair) through a min-plus fixed point — see
+// docs/parallel_engine.md for the protocol and its safety argument.
+// Cross-partition events are exchanged through per-pair SPSC queues,
+// re-keyed and committed in canonical (time, key) order at window barriers.
+// Event keys are partition-tagged ((partition << 40) | seq), so partition 0
+// of a partitioned run and a plain serial run use the very same key values.
 //
 // Thread-safety contract: user code never needs locks — process bodies,
 // NIC handlers and event callbacks run on exactly one thread per window,
@@ -86,6 +89,10 @@ namespace deep::sim {
 class Engine;
 class Process;
 class Tracer;
+
+/// Pair-lookahead sentinel for partitions that share no channel: such pairs
+/// never constrain each other's safe windows.
+inline constexpr Duration kUnconstrainedLookahead{INT64_MAX};
 
 /// Handle passed to process bodies; the only way user code talks to the
 /// engine from inside a process.
@@ -229,9 +236,17 @@ class Engine {
   void schedule_in(Duration d, EventFn fn);
 
   /// Schedules `fn` at `t` on partition `p`.  From inside a partitioned run,
-  /// a cross-partition target requires t >= the current safe window's end —
-  /// guaranteed by construction when the delay is at least the lookahead.
+  /// a cross-partition target requires t >= the destination's current safe
+  /// horizon — guaranteed by construction when the delay is at least the
+  /// (src, dst) pair lookahead.
   void schedule_on(std::uint32_t p, TimePoint t, EventFn fn);
+
+  /// Like schedule_on, but clamps `t` up to the destination's current safe
+  /// horizon, so the call is always legal from any partition.  Use for
+  /// bookkeeping that must reach another partition "as soon as safely
+  /// possible" (the clamp is deterministic: horizons are a pure function of
+  /// the simulation state, never of worker interleaving).
+  void schedule_on_after(std::uint32_t p, TimePoint t, EventFn fn);
 
   /// Creates a process on partition 0 (or, from inside a process, on the
   /// calling partition); its body starts executing at the current time.  The
@@ -272,12 +287,31 @@ class Engine {
   void set_workers(std::uint32_t workers);
   std::uint32_t workers() const { return workers_; }
 
-  /// The conservative lookahead: the minimum virtual-time distance any
-  /// cross-partition interaction travels (derived from the slowest-case
-  /// minimum latency of the bridging fabrics).  Required (> 0) before
-  /// running a multi-partition engine; ignored otherwise.
+  /// The global conservative lookahead: the minimum virtual-time distance
+  /// any cross-partition interaction travels.  Acts as the default for
+  /// every (src, dst) pair not set explicitly below.  Some positive
+  /// lookahead (global or per-pair) is required for every ordered pair
+  /// before running a multi-partition engine; ignored otherwise.
   void set_lookahead(Duration lookahead);
   Duration lookahead() const { return lookahead_; }
+
+  /// Per-pair lookahead: the minimum virtual latency of any channel from
+  /// partition `src` into partition `dst` (use kUnconstrainedLookahead when
+  /// the pair shares no channel).  Overrides the global default for that
+  /// ordered pair.  net::install_pair_lookahead() derives the full matrix
+  /// from the fabrics' route structure.
+  void set_lookahead(std::uint32_t src, std::uint32_t dst, Duration lookahead);
+
+  /// Effective lookahead for an ordered pair: the explicit pair entry if
+  /// set, else the global default (Duration{0} when neither is configured).
+  Duration lookahead(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Enables wall-clock instruments (per-worker sim.barrier_wait_ns
+  /// histograms).  Off by default because wall-clock values are not
+  /// deterministic; purely virtual instruments (sim.windows,
+  /// sim.solo_windows, sim.window_events) are always recorded.
+  void set_wallclock_metrics(bool on) { wallclock_metrics_ = on; }
+  bool wallclock_metrics() const { return wallclock_metrics_; }
 
   /// The partition whose events this thread is currently executing
   /// (0 outside a run).
@@ -403,6 +437,8 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::uint32_t workers_ = 1;
   Duration lookahead_{};
+  std::vector<std::int64_t> pair_la_;  // (src, dst) overrides, -1 = unset
+  bool wallclock_metrics_ = false;
   bool running_ = false;
   bool parallel_run_ = false;  // inside run_windowed (any worker count)
   Tracer* tracer_ = nullptr;
@@ -411,8 +447,12 @@ class Engine {
   obs::Counter m_fiber_switches_;  // sim.fiber_switches (process slices run)
   obs::Counter m_stale_resumes_;   // sim.stale_resumes (dropped stale events)
   obs::Counter m_windows_;         // sim.windows (parallel safe windows run)
+  obs::Counter m_solo_windows_;    // sim.solo_windows (batched, no barrier)
   obs::Counter m_cross_events_;    // sim.cross_events (partition boundary)
   obs::Gauge m_queue_depth_;       // sim.queue_depth (every 64th dispatch)
+  obs::Histogram m_window_events_; // sim.window_events (events per window)
+  // Per-worker barrier wait (wall clock); only when set_wallclock_metrics.
+  std::vector<obs::Histogram> m_barrier_wait_;
 };
 
 inline TimePoint Context::now() const { return engine_->now(); }

@@ -3,17 +3,48 @@
 // Protocol per window, driven by the main thread with W-1 helper threads:
 //
 //   plan    (main only)  drain cross-partition rings into destination
-//                        queues in canonical (src, dst) order, pick
-//                        T = min next event time, publish the safe window
-//                        [T, T + lookahead)
+//                        queues in canonical (src, dst) order, then derive
+//                        a per-partition safe horizon from the per-pair
+//                        lookahead matrix (min-plus fixed point, below)
 //   barrier
 //   execute (all)        each worker runs its partitions' events with
-//                        t < window_end; partition p is always executed by
-//                        worker p % W, so a fiber stays on one thread for
-//                        the whole run
+//                        t < partition.limit; partition p is executed by
+//                        worker p % W
 //   barrier
 //   commit  (main only)  merge buffered trace records in (time, key, emit)
 //                        order, sample commit-point gauges
+//
+// Horizon computation.  Let next(p) be partition p's earliest queued event
+// and la(s, d) the (s, d) pair lookahead (the minimum virtual latency of
+// any channel from s into d; INT64_MAX when they share none).  The earliest
+// time partition p could possibly execute *any* event — queued now or
+// received later through any chain of peers — is the least fixed point of
+//
+//   LB(p) = min( next(p),  min over s != p of LB(s) + la(s, p) )
+//
+// solved exactly by a Dijkstra-style relaxation (all la > 0, so finalising
+// the global minimum first is sound).  Partition p may then safely execute
+// everything strictly below
+//
+//   limit(p) = min over s != p of ( LB(s) + la(s, p) )
+//
+// because any event a peer could still send into p arrives at or beyond
+// that bound.  The naive per-pair window `peer_next + la(peer, self)`
+// without the fixed point is transitively unsound (a two-hop chain
+// s -> m -> p can beat it); the LB relaxation is what makes per-pair
+// windows safe.  Progress is guaranteed: the partition holding the global
+// minimum event time always has limit > its next event.  With a uniform
+// lookahead this degenerates to (at least) the historical global window
+// [T, T + la).
+//
+// Window batching.  When only one partition has executable work below its
+// horizon, the main thread runs it inline without releasing the barrier —
+// the workers stay parked — which amortises barrier cost across the long
+// single-partition stretches that per-pair horizons create.  The batching
+// decision is a pure function of queue state, so it cannot depend on the
+// worker count.  (A fiber may therefore run on the main thread in one
+// window and on its pinned worker in the next; fibers carry no thread
+// affinity, the same property the teardown path has always relied on.)
 //
 // Every side effect that could depend on thread interleaving is confined to
 // a partition (queues, fibers, metric lanes, trace buffers) or serialised at
@@ -23,6 +54,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <thread>
 #include <tuple>
 
@@ -44,13 +76,38 @@ void Engine::exec_partition_window(Partition& part) {
 }
 
 bool Engine::run_windowed(TimePoint limit, bool bounded) {
-  DEEP_EXPECT(lookahead_.ps > 0,
-              "Engine: multi-partition runs require set_lookahead(> 0) — the "
-              "minimum cross-partition link latency");
   const std::uint32_t P = partitions();
   if (!par_) par_ = std::make_unique<ParallelState>(*this);
   if (metrics_) metrics_->ensure_lanes(P);
   const std::uint32_t W = std::min(workers_, P);
+
+  // Resolve the effective pair lookahead matrix once per run: explicit pair
+  // entries win, the global lookahead fills the rest, and every ordered
+  // pair must end up positive (kUnconstrainedLookahead for pairs that share
+  // no channel).
+  auto& la = par_->eff_la;
+  la.assign(static_cast<std::size_t>(P) * P, INT64_MAX);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    for (std::uint32_t d = 0; d < P; ++d) {
+      if (s == d) continue;
+      const std::int64_t v = lookahead(s, d).ps;
+      DEEP_EXPECT(v > 0,
+                  "Engine: multi-partition runs require set_lookahead(> 0) — "
+                  "the minimum cross-partition link latency, global or "
+                  "per-pair");
+      la[static_cast<std::size_t>(s) * P + d] = v;
+    }
+  }
+
+  // Wall-clock barrier instruments are opt-in: their values depend on the
+  // host, so they would break deterministic metric snapshots if always on.
+  const bool time_barriers = wallclock_metrics_ && metrics_ != nullptr;
+  if (time_barriers && m_barrier_wait_.size() < W) {
+    m_barrier_wait_.clear();
+    for (std::uint32_t w = 0; w < W; ++w)
+      m_barrier_wait_.push_back(
+          metrics_->histogram("sim.barrier_wait_ns.w" + std::to_string(w)));
+  }
 
   for (std::uint32_t p = 0; p < P; ++p)
     partition(p).active_tracer = tracer_ ? &par_->tracers[p] : nullptr;
@@ -59,18 +116,75 @@ bool Engine::run_windowed(TimePoint limit, bool bounded) {
   std::barrier<> sync(static_cast<std::ptrdiff_t>(W));
   std::atomic<bool> stop{false};
 
+  auto barrier_wait = [&](std::uint32_t w) {
+    if (!time_barriers) {
+      sync.arrive_and_wait();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    sync.arrive_and_wait();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    // Each worker records on its own lane; merged by the registry on read.
+    util::LaneGuard lane(w);
+    m_barrier_wait_[w].record(ns);
+  };
+
   auto worker_loop = [&](std::uint32_t w) {
     for (;;) {
-      sync.arrive_and_wait();  // window published (or stop)
+      barrier_wait(w);  // window published (or stop)
       if (stop.load(std::memory_order_acquire)) return;
       for (std::uint32_t p = w; p < P; p += W)
         exec_partition_window(partition(p));
-      sync.arrive_and_wait();  // window complete
+      barrier_wait(w);  // window complete
     }
   };
   std::vector<std::thread> threads;
   threads.reserve(W > 0 ? W - 1 : 0);
   for (std::uint32_t w = 1; w < W; ++w) threads.emplace_back(worker_loop, w);
+
+  auto sat_add = [](std::int64_t a, std::int64_t b) {
+    return a > INT64_MAX - b ? INT64_MAX : a + b;
+  };
+
+  // Merges the given partitions' buffered trace records into the user's
+  // tracer in (t, key, emit) order — unique per record, so the trace file
+  // is identical for every worker count.
+  auto commit_traces = [&](std::uint32_t first, std::uint32_t last) {
+    if (!tracer_) return;
+    auto& scratch = par_->merge_scratch;
+    scratch.clear();
+    for (std::uint32_t p = first; p < last; ++p) {
+      auto& recs = par_->tracers[p].records();
+      scratch.insert(scratch.end(), std::make_move_iterator(recs.begin()),
+                     std::make_move_iterator(recs.end()));
+      recs.clear();
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const ParallelState::BufferTracer::Rec& a,
+                 const ParallelState::BufferTracer::Rec& b) {
+                return std::tie(a.t_ps, a.key, a.emit) <
+                       std::tie(b.t_ps, b.key, b.emit);
+              });
+    for (const auto& rec : scratch) {
+      if (rec.is_span)
+        tracer_->span(rec.track, rec.name, rec.begin, rec.end, rec.category);
+      else
+        tracer_->instant(rec.track, rec.name, rec.begin, rec.category);
+    }
+    scratch.clear();
+  };
+
+  auto sample_queue_depth = [&] {
+    std::size_t queued = 0;
+    for (std::uint32_t p = 0; p < P; ++p) queued += partition(p).queue.size();
+    m_queue_depth_.set(static_cast<std::int64_t>(queued));
+  };
+
+  auto& next = par_->plan_next;
+  auto& lb = par_->plan_lb;
+  auto& done = par_->plan_done;
 
   bool events_remain = false;
   std::exception_ptr proc_error;
@@ -107,14 +221,16 @@ bool Engine::run_windowed(TimePoint limit, bool bounded) {
         part.error = nullptr;
       }
 
-      TimePoint t_min{INT64_MAX};
+      next.assign(P, INT64_MAX);
+      std::int64_t t_min = INT64_MAX;
       for (std::uint32_t p = 0; p < P; ++p) {
         Partition& part = partition(p);
-        if (!part.queue.empty() && part.queue.next_time() < t_min)
-          t_min = part.queue.next_time();
+        if (part.queue.empty()) continue;
+        next[p] = part.queue.next_time().ps;
+        t_min = std::min(t_min, next[p]);
       }
-      bool have_window = t_min.ps != INT64_MAX && !proc_error;
-      if (have_window && bounded && t_min > limit) {
+      bool have_window = t_min != INT64_MAX && !proc_error;
+      if (have_window && bounded && t_min > limit.ps) {
         have_window = false;
         events_remain = true;
       }
@@ -125,54 +241,75 @@ bool Engine::run_windowed(TimePoint limit, bool bounded) {
         break;
       }
 
-      // Conservative window: no partition can affect another before
-      // T + lookahead, so everything below that horizon is safe to run
-      // without further coordination.  Bounded runs additionally include
-      // events at exactly `limit` (hence the +1 ps exclusive cap).
-      TimePoint window_end = t_min + lookahead_;
-      if (bounded && window_end.ps > limit.ps + 1) window_end.ps = limit.ps + 1;
-      for (std::uint32_t p = 0; p < P; ++p) partition(p).limit = window_end;
+      // Min-plus fixed point for the per-partition emission lower bounds,
+      // then the safe horizons (see the file comment for the argument).
+      lb = next;
+      done.assign(P, 0);
+      for (std::uint32_t round = 0; round < P; ++round) {
+        std::uint32_t u = P;
+        std::int64_t best = INT64_MAX;
+        for (std::uint32_t p = 0; p < P; ++p)
+          if (!done[p] && lb[p] < best) {
+            best = lb[p];
+            u = p;
+          }
+        if (u == P) break;  // the rest are unreachable
+        done[u] = 1;
+        const std::int64_t* row = &la[static_cast<std::size_t>(u) * P];
+        for (std::uint32_t q = 0; q < P; ++q) {
+          if (done[q] || row[q] == INT64_MAX) continue;
+          lb[q] = std::min(lb[q], sat_add(best, row[q]));
+        }
+      }
+
+      std::uint32_t active = 0;
+      std::uint32_t solo = 0;
+      for (std::uint32_t p = 0; p < P; ++p) {
+        std::int64_t lim = INT64_MAX;
+        for (std::uint32_t s = 0; s < P; ++s) {
+          const std::int64_t l = la[static_cast<std::size_t>(s) * P + p];
+          if (s == p || l == INT64_MAX || lb[s] == INT64_MAX) continue;
+          lim = std::min(lim, sat_add(lb[s], l));
+        }
+        // Bounded runs additionally include events at exactly `limit`
+        // (hence the +1 ps exclusive cap).
+        if (bounded && lim > limit.ps) lim = sat_add(limit.ps, 1);
+        partition(p).limit = TimePoint{lim};
+        if (next[p] < lim) {
+          ++active;
+          solo = p;
+        }
+      }
+      DEEP_ASSERT(active > 0, "parallel engine: no executable partition");
       m_windows_.add(1);
+      const std::size_t before = events_executed();
+
+      if (active == 1) {
+        // ---- batched window: a single runnable partition; execute it on
+        // the main thread with the workers still parked, skipping both
+        // barriers.  Pure function of queue state => worker-independent.
+        m_solo_windows_.add(1);
+        exec_partition_window(partition(solo));
+        m_window_events_.record(
+            static_cast<std::int64_t>(events_executed() - before));
+        commit_traces(solo, solo + 1);
+        sample_queue_depth();
+        continue;
+      }
 
       // ---- execute: all workers, partitions pinned p -> worker p % W ----
-      sync.arrive_and_wait();
+      barrier_wait(0);
       for (std::uint32_t p = 0; p < P; p += W)
         exec_partition_window(partition(p));
-      sync.arrive_and_wait();
+      barrier_wait(0);
 
       // ---- commit: main thread only ----
-      if (tracer_) {
-        auto& scratch = par_->merge_scratch;
-        scratch.clear();
-        for (std::uint32_t p = 0; p < P; ++p) {
-          auto& recs = par_->tracers[p].records();
-          scratch.insert(scratch.end(),
-                         std::make_move_iterator(recs.begin()),
-                         std::make_move_iterator(recs.end()));
-          recs.clear();
-        }
-        // (t, key, emit) is unique per record, so the order — and the trace
-        // file — is identical for every worker count.
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const ParallelState::BufferTracer::Rec& a,
-                     const ParallelState::BufferTracer::Rec& b) {
-                    return std::tie(a.t_ps, a.key, a.emit) <
-                           std::tie(b.t_ps, b.key, b.emit);
-                  });
-        for (const auto& rec : scratch) {
-          if (rec.is_span)
-            tracer_->span(rec.track, rec.name, rec.begin, rec.end,
-                          rec.category);
-          else
-            tracer_->instant(rec.track, rec.name, rec.begin, rec.category);
-        }
-        scratch.clear();
-      }
+      m_window_events_.record(
+          static_cast<std::int64_t>(events_executed() - before));
+      commit_traces(0, P);
       // Commit-point queue-depth sample (the serial engine decimates by
       // event count instead; both are deterministic).
-      std::size_t queued = 0;
-      for (std::uint32_t p = 0; p < P; ++p) queued += partition(p).queue.size();
-      m_queue_depth_.set(static_cast<std::int64_t>(queued));
+      sample_queue_depth();
     }
   } catch (...) {
     fatal = std::current_exception();

@@ -142,6 +142,14 @@ struct Engine::ParallelState {
   std::deque<CrossRing> rings;
   std::deque<BufferTracer> tracers;  // one per partition, stable addresses
   std::vector<BufferTracer::Rec> merge_scratch;
+
+  // Plan-step scratch (main thread only): the effective (src, dst) pair
+  // lookahead matrix resolved at run start, and the per-partition arrays of
+  // the min-plus horizon computation (INT64_MAX = unconstrained/none).
+  std::vector<std::int64_t> eff_la;
+  std::vector<std::int64_t> plan_next;  // next event time per partition
+  std::vector<std::int64_t> plan_lb;    // emission lower bound per partition
+  std::vector<char> plan_done;          // lower bound finalised
 };
 
 }  // namespace deep::sim

@@ -1,0 +1,70 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace deep::sim {
+
+std::vector<std::uint32_t> partition_graph(const PartitionGraph& graph,
+                                           std::uint32_t parts) {
+  const std::size_t n = graph.vertices;
+  DEEP_EXPECT(parts >= 1, "partition_graph: parts must be >= 1");
+  DEEP_EXPECT(parts <= n, "partition_graph: more parts than vertices");
+
+  // Adjacency, deduplicated and sorted so growth order is deterministic.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [a, b] : graph.edges) {
+    DEEP_EXPECT(a < n && b < n, "partition_graph: edge endpoint out of range");
+    if (a == b) continue;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+
+  constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> block(n, kUnassigned);
+  std::size_t assigned = 0;
+  std::size_t next_seed = 0;
+
+  for (std::uint32_t b = 0; b < parts; ++b) {
+    // Balanced target for this block given what remains.
+    const std::size_t remaining = n - assigned;
+    const std::uint32_t blocks_left = parts - b;
+    const std::size_t target = (remaining + blocks_left - 1) / blocks_left;
+
+    // Grow from the lowest unassigned vertex, absorbing the lowest-id
+    // frontier vertex first (an ordered set doubles as the BFS frontier).
+    while (next_seed < n && block[next_seed] != kUnassigned) ++next_seed;
+    DEEP_ASSERT(next_seed < n, "partition_graph: seed exhausted early");
+    std::set<std::size_t> frontier{next_seed};
+    std::size_t grown = 0;
+    while (grown < target) {
+      std::size_t v;
+      if (!frontier.empty()) {
+        v = *frontier.begin();
+        frontier.erase(frontier.begin());
+      } else {
+        // Disconnected remainder: restart from the lowest unassigned vertex.
+        std::size_t seek = next_seed;
+        while (seek < n && block[seek] != kUnassigned) ++seek;
+        DEEP_ASSERT(seek < n, "partition_graph: ran out of vertices");
+        v = seek;
+      }
+      if (block[v] != kUnassigned) continue;
+      block[v] = b;
+      ++grown;
+      ++assigned;
+      for (const std::size_t nb : adj[v])
+        if (block[nb] == kUnassigned) frontier.insert(nb);
+    }
+  }
+  DEEP_ASSERT(assigned == n, "partition_graph: incomplete assignment");
+  return block;
+}
+
+}  // namespace deep::sim

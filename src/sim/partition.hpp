@@ -1,0 +1,36 @@
+#pragma once
+// Topology-driven auto-partitioning: the pure graph half.
+//
+// partition_graph() splits an undirected locality graph into P balanced,
+// connected-where-possible blocks by greedy BFS growth: each block starts
+// from the lowest-id unassigned vertex and absorbs neighbours
+// (lowest-id-first) until it reaches its size target
+// ceil(remaining / remaining_blocks).  The result is fully deterministic —
+// a pure function of (graph, P) — which is what the auto-vs-manual
+// equivalence tests rely on.
+//
+// The net layer adapts concrete fabrics to this via net::auto_partition()
+// (net/partition.hpp), which builds the graph from Fabric::topology_edges().
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace deep::sim {
+
+struct PartitionGraph {
+  std::size_t vertices = 0;
+  // Undirected edges as (a, b) vertex-index pairs; duplicates and self-loops
+  // are tolerated (ignored).
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+};
+
+/// Assigns every vertex to one of `parts` blocks (returned value:
+/// vertex index -> block in [0, parts)).  Blocks are balanced to within one
+/// vertex; each is grown through the edge relation from the lowest
+/// unassigned vertex, so blocks follow the topology's locality whenever the
+/// graph is connected.  Requires 1 <= parts <= vertices.
+std::vector<std::uint32_t> partition_graph(const PartitionGraph& graph,
+                                           std::uint32_t parts);
+
+}  // namespace deep::sim

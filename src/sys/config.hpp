@@ -50,11 +50,19 @@ struct SystemConfig {
   AllocPolicy alloc_policy = AllocPolicy::Dynamic;
   int static_partitions = 0;  // used with StaticPartition; 0 = cluster_nodes
 
-  /// Engine worker threads (sim::Engine::set_workers).  The classic
-  /// cluster+booster machine is one engine partition, so the flag changes
-  /// scheduling only for partitioned topologies (net::BridgeFabric islands);
-  /// results are bit-identical for every value (docs/parallel_engine.md).
+  /// Engine worker threads (sim::Engine::set_workers).  Results are
+  /// bit-identical for every value (docs/parallel_engine.md).
   int workers = 1;
+
+  /// Engine partitions (sim::Engine::set_partitions).  1 — the default —
+  /// is the classic serial machine, bit-for-bit.  P > 1 splits the booster
+  /// torus into P-1 contiguous topology blocks (net::auto_partition) placed
+  /// on partitions 1..P-1 and keeps the cluster, the gateways and the
+  /// control plane (launcher, resource manager, spawn roots) on partition
+  /// 0; per-pair lookaheads derive from the fabrics' route distances.
+  /// Requires inactive faults and a gateway policy that is pure at send
+  /// time (ByPair or Pinned, not RoundRobin).
+  int partitions = 1;
 
   // Process start-up model for comm_spawn (ParaStation-style tree startup).
   sim::Duration rm_latency = sim::from_micros(200);     // allocation decision

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "net/partition.hpp"
 #include "util/log.hpp"
 
 namespace deep::sys {
@@ -53,6 +54,22 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   DEEP_EXPECT(config_.booster_nodes >= 1, "DeepSystem: need booster nodes");
   DEEP_EXPECT(config_.gateways >= 1, "DeepSystem: need at least one gateway");
   DEEP_EXPECT(config_.workers >= 1, "DeepSystem: need at least one worker");
+  DEEP_EXPECT(config_.partitions >= 1, "DeepSystem: need at least one partition");
+  DEEP_EXPECT(config_.partitions <= 1 + config_.booster_nodes,
+              "DeepSystem: more partitions than booster nodes plus one "
+              "(partitions 1..P-1 are torus blocks; partition 0 is the "
+              "cluster side)");
+  if (config_.partitions > 1) {
+    DEEP_EXPECT(!config_.faults.active(),
+                "DeepSystem: fault injection requires partitions == 1 "
+                "(fault state is shared across partitions; use workers > 1 "
+                "at partitions == 1 for parallel chaos coverage)");
+    DEEP_EXPECT(config_.bridge.policy != cbp::GatewayPolicy::RoundRobin,
+                "DeepSystem: RoundRobin gateway policy mutates shared state "
+                "on every send and requires partitions == 1; use ByPair or "
+                "Pinned");
+  }
+  engine_.set_partitions(static_cast<std::uint32_t>(config_.partitions));
   engine_.set_workers(static_cast<std::uint32_t>(config_.workers));
 
   if (config_.metrics.enabled) {
@@ -99,13 +116,30 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     gateway_ids_.push_back(next);
   }
 
-  const int partitions = config_.alloc_policy == AllocPolicy::StaticPartition
-                             ? (config_.static_partitions > 0
-                                    ? config_.static_partitions
-                                    : config_.cluster_nodes)
-                             : 1;
+  if (config_.partitions > 1) {
+    // Split the booster torus into contiguous topology blocks on engine
+    // partitions 1..P-1; the gateways stay with the cluster and the control
+    // plane on partition 0.  The engine's safe-window widths then derive
+    // from actual route distances between the blocks.
+    net::AutoPartitionOptions opts;
+    opts.first_partition = 1;
+    opts.pinned = gateway_ids_;
+    opts.pin_to = 0;
+    net::auto_partition(*extoll_,
+                        static_cast<std::uint32_t>(config_.partitions - 1),
+                        opts);
+    // The crossbar never carries cross-partition traffic (cluster nodes and
+    // gateways all live on partition 0) and reports unconstrained pairs.
+    net::install_pair_lookahead(engine_, {ib_.get(), extoll_.get()});
+  }
+
+  const int rm_partitions =
+      config_.alloc_policy == AllocPolicy::StaticPartition
+          ? (config_.static_partitions > 0 ? config_.static_partitions
+                                           : config_.cluster_nodes)
+          : 1;
   rm_ = std::make_unique<ResourceManager>(engine_, booster_ids_,
-                                          config_.alloc_policy, partitions);
+                                          config_.alloc_policy, rm_partitions);
 
   mpi_->set_spawner([this](const mpi::SpawnRequest& request) {
     return spawn_children(request);
@@ -146,6 +180,12 @@ hw::Node& DeepSystem::node(hw::NodeId id) {
 // Launch & spawn
 // ---------------------------------------------------------------------------
 
+std::uint32_t DeepSystem::node_partition_of(hw::NodeId id) const {
+  // Booster nodes carry their torus block's partition; cluster nodes and
+  // gateways (pinned there by construction) live on partition 0.
+  return extoll_->attached(id) ? extoll_->partition_of(id) : 0;
+}
+
 void DeepSystem::start_rank_process(
     const std::string& program_name, std::vector<std::string> args,
     hw::NodeId node_id, mpi::EpId ep, const mpi::MpiSystem::World& world,
@@ -153,46 +193,74 @@ void DeepSystem::start_rank_process(
     std::shared_ptr<JobHandle::State> job,
     std::shared_ptr<mpi::IntercommState> parent_proto, mpi::EpAddr ready_to) {
   const Program& program = programs_.get(program_name);
-  engine_.schedule_in(start_delay, [this, program_name, args = std::move(args),
-                                    node_id, ep, world, rank, job,
-                                    parent_proto, ready_to, &program] {
-    engine_.spawn(
-        program_name + "." + std::to_string(rank),
-        [this, args, node_id, ep, world, rank, job, parent_proto, ready_to,
-         &program](sim::Context& ctx) {
-          auto comm_state = std::make_shared<mpi::CommState>();
-          comm_state->ctx_p2p = world.ctx_p2p;
-          comm_state->ctx_coll = world.ctx_coll;
-          comm_state->group = world.group;
-          comm_state->rank = rank;
+  auto body = [this, args = std::move(args), node_id, ep, world, rank, job,
+               parent_proto, ready_to, &program](sim::Context& ctx) {
+    auto comm_state = std::make_shared<mpi::CommState>();
+    comm_state->ctx_p2p = world.ctx_p2p;
+    comm_state->ctx_coll = world.ctx_coll;
+    comm_state->group = world.group;
+    comm_state->rank = rank;
 
-          std::optional<mpi::Intercomm> parent;
-          if (parent_proto) {
-            auto st = std::make_shared<mpi::IntercommState>(*parent_proto);
-            st->rank = rank;
-            parent = mpi::Intercomm(std::move(st));
-          }
+    std::optional<mpi::Intercomm> parent;
+    if (parent_proto) {
+      auto st = std::make_shared<mpi::IntercommState>(*parent_proto);
+      st->rank = rank;
+      parent = mpi::Intercomm(std::move(st));
+    }
 
-          mpi::Mpi mpi(*mpi_, ctx, node(node_id), mpi_->endpoint(ep),
-                       mpi::Comm(std::move(comm_state)), std::move(parent));
+    mpi::Mpi mpi(*mpi_, ctx, node(node_id), mpi_->endpoint(ep),
+                 mpi::Comm(std::move(comm_state)), std::move(parent));
 
-          if (parent_proto) {
-            // Report readiness to the spawn root (MPI_Comm_spawn returns
-            // once all children are up).
-            mpi_->endpoint(ep).start_send(ready_to, parent_proto->context,
-                                          rank, mpi::kReadyTag, {});
-          }
+    if (parent_proto) {
+      // Report readiness to the spawn root (MPI_Comm_spawn returns
+      // once all children are up).
+      mpi_->endpoint(ep).start_send(ready_to, parent_proto->context, rank,
+                                    mpi::kReadyTag, {});
+    }
 
-          ProgramEnv env{mpi, args, this};
-          program(env);
+    ProgramEnv env{mpi, args, this};
+    program(env);
 
-          job->remaining -= 1;
-          if (job->remaining == 0) {
-            job->finished_at = ctx.now();
-            if (job->on_done) job->on_done();
-          }
-        });
-  });
+    if (engine_.partitions() > 1) {
+      // Job state is shared by every rank of the job; fold completions on
+      // partition 0, where launch roots, spawn roots and the resource
+      // manager (on_done releases nodes) live.  schedule_on_after lands at
+      // the partition's horizon when ctx.now() is below it — deterministic,
+      // since horizons are a pure function of the simulation.
+      engine_.schedule_on_after(0, ctx.now(), [this, job] {
+        job->remaining -= 1;
+        if (job->remaining == 0) {
+          job->finished_at = engine_.now();
+          if (job->on_done) job->on_done();
+        }
+      });
+      return;
+    }
+    job->remaining -= 1;
+    if (job->remaining == 0) {
+      job->finished_at = ctx.now();
+      if (job->on_done) job->on_done();
+    }
+  };
+
+  const std::string proc_name = program_name + "." + std::to_string(rank);
+  if (engine_.partitions() == 1) {
+    engine_.schedule_in(start_delay, [this, proc_name, body = std::move(body)] {
+      engine_.spawn(proc_name, std::move(body));
+    });
+    return;
+  }
+  // Partitioned machine: land on the rank's home partition first (a process
+  // may only be spawned onto the partition executing it), then spawn there.
+  // Spawn delays (rm latency + tree start-up, hundreds of microseconds) dwarf
+  // the pair lookaheads, so the horizon clamp never moves a start in
+  // practice; when it would, the clamp is deterministic.
+  const std::uint32_t part = node_partition_of(node_id);
+  engine_.schedule_on_after(
+      part, engine_.now() + start_delay,
+      [this, part, proc_name, body = std::move(body)] {
+        engine_.spawn_on(part, proc_name, std::move(body));
+      });
 }
 
 JobHandle DeepSystem::launch(const std::string& name, int nprocs,

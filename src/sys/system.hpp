@@ -107,6 +107,11 @@ class DeepSystem {
   hw::Node& booster_node(int i);
   hw::Node& node(hw::NodeId id);
 
+  /// The engine partition `id`'s events run on: a booster node's torus
+  /// block, partition 0 for cluster nodes and gateways (and everything on a
+  /// single-partition machine).
+  std::uint32_t node_partition_of(hw::NodeId id) const;
+
   /// Starts `nprocs` instances of registered program `name` on the cluster
   /// (ranks round-robin over cluster nodes).  The job begins at the current
   /// simulation time; run() drives it to completion.

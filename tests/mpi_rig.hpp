@@ -13,6 +13,7 @@
 #include "hw/node.hpp"
 #include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
+#include "net/partition.hpp"
 #include "net/torus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
@@ -150,13 +151,25 @@ class BridgedMpiRig {
   BridgedMpiRig(int cluster_ranks, int booster_ranks, int gateways,
                 cbp::GatewayPolicy policy = cbp::GatewayPolicy::ByPair,
                 mpi::MpiParams params = {}, cbp::BridgeParams bridge_params = {},
-                obs::Registry* metrics = nullptr)
+                obs::Registry* metrics = nullptr, int partitions = 1)
       : metrics_hook_(engine_, metrics),
         ib_(engine_, "ib", {}),
         extoll_(engine_, "extoll",
-                [] {
+                [&] {
+                  // The historical 4x4x4 box when it fits; otherwise the
+                  // smallest near-cubic box (paper-scale rigs: 384 BN).
                   net::TorusParams p;
                   p.dims = {4, 4, 4};
+                  int x = 4, y = 4, z = 4;
+                  while (x * y * z < booster_ranks + gateways) {
+                    if (x <= y && x <= z)
+                      ++x;
+                    else if (y <= z)
+                      ++y;
+                    else
+                      ++z;
+                  }
+                  p.dims = {x, y, z};
                   return p;
                 }()),
         bridge_(engine_, ib_, extoll_,
@@ -165,6 +178,10 @@ class BridgedMpiRig {
                   return bridge_params;
                 }()),
         system_(engine_, bridge_, params) {
+    // Production partition layout (sys::SystemConfig::partitions): booster
+    // torus blocks on partitions 1..P-1, cluster + gateways on 0.  Must be
+    // set before any node partition is assigned.
+    engine_.set_partitions(static_cast<std::uint32_t>(partitions));
     std::vector<hw::NodeId> node_ids;
     hw::NodeId next = 0;
     for (int i = 0; i < cluster_ranks; ++i, ++next) {
@@ -187,6 +204,16 @@ class BridgedMpiRig {
       ib_.attach(next);
       extoll_.attach(next);
       bridge_.register_gateway(next);
+      gateway_ids_.push_back(next);
+    }
+    if (partitions > 1) {
+      net::AutoPartitionOptions opts;
+      opts.first_partition = 1;
+      opts.pinned = gateway_ids_;
+      opts.pin_to = 0;
+      net::auto_partition(extoll_, static_cast<std::uint32_t>(partitions - 1),
+                          opts);
+      net::install_pair_lookahead(engine_, {&ib_, &extoll_});
     }
     world_ = system_.create_world(node_ids);
   }
@@ -203,11 +230,15 @@ class BridgedMpiRig {
   }
 
   /// Launches without running (for tests that arm fault plans or drive the
-  /// engine manually).
+  /// engine manually).  On a partitioned rig every rank fiber is pinned to
+  /// its node's home partition, as the sys launcher does.
   void launch(const std::function<void(mpi::Mpi&)>& fn) {
     const int n = world_.group->size();
     for (int r = 0; r < n; ++r) {
-      engine_.spawn("rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
+      const hw::NodeId node = world_.group->members[static_cast<std::size_t>(r)].node;
+      const std::uint32_t part =
+          extoll_.attached(node) ? extoll_.partition_of(node) : 0;
+      engine_.spawn_on(part, "rank" + std::to_string(r), [this, r, fn](sim::Context& ctx) {
         auto state = std::make_shared<mpi::CommState>();
         state->ctx_p2p = world_.ctx_p2p;
         state->ctx_coll = world_.ctx_coll;
@@ -229,6 +260,7 @@ class BridgedMpiRig {
   cbp::BridgedTransport bridge_;
   mpi::MpiSystem system_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
+  std::vector<hw::NodeId> gateway_ids_;
   mpi::MpiSystem::World world_;
 };
 

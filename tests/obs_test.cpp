@@ -186,7 +186,7 @@ TEST(Registry, ValueOfUnknownNameIsZero) {
   EXPECT_EQ(reg.value("nope"), 0);
 }
 
-TEST(Registry, JsonListsEntriesInRegistrationOrder) {
+TEST(Registry, JsonListsEntriesSortedByName) {
   dob::Registry reg;
   reg.counter("b.second").add(2);
   reg.gauge("a.first").set(7);
@@ -198,8 +198,12 @@ TEST(Registry, JsonListsEntriesInRegistrationOrder) {
   ASSERT_NE(pos_b, std::string::npos);
   ASSERT_NE(pos_a, std::string::npos);
   ASSERT_NE(pos_z, std::string::npos);
-  EXPECT_LT(pos_b, pos_a);  // registration order, not lexicographic
-  EXPECT_LT(pos_a, pos_z);
+  // Sorted by name, not registration order: per-rank instruments register
+  // from worker threads on a partitioned engine, so first-touch order is
+  // scheduling-dependent — the name sort keeps snapshots comparable across
+  // worker counts.
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_z);
   EXPECT_NE(json.find("\"kind\":\"counter\",\"value\":2"), std::string::npos);
   EXPECT_NE(json.find("\"value\":7,\"peak\":7"), std::string::npos);
   // Sparse buckets: exactly one occupied bucket, [3,1] (bit_width(5)==3).
@@ -227,12 +231,14 @@ TEST(Registry, CsvTableUsesLongFormat) {
   const du::Table t = reg.to_csv_table();
   ASSERT_EQ(t.columns().size(), 3u);
   EXPECT_EQ(t.columns()[0], "metric");
-  // counter: 1 row; histogram: count,sum,min,p50,p90,p99,max = 7 rows.
+  // histogram (name-sorted first): count,sum,min,p50,p90,p99,max = 7 rows;
+  // counter: 1 row.
   EXPECT_EQ(t.num_rows(), 8u);
-  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "msgs");
-  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 2)), 9);
-  EXPECT_EQ(std::get<std::string>(t.at(1, 1)), "count");
-  EXPECT_EQ(std::get<std::int64_t>(t.at(1, 2)), 2);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "lat");
+  EXPECT_EQ(std::get<std::string>(t.at(0, 1)), "count");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 2)), 2);
+  EXPECT_EQ(std::get<std::string>(t.at(7, 0)), "msgs");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(7, 2)), 9);
 }
 
 TEST(Registry, SampleColumnsAndRowsLineUp) {

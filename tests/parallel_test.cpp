@@ -9,17 +9,27 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "apps/stencil.hpp"
 #include "net/bridge.hpp"
+#include "net/fault.hpp"
+#include "net/partition.hpp"
+#include "net/torus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
+#include "sim/partition.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
+#include "sys/system.hpp"
 #include "util/error.hpp"
 #include "util/lane.hpp"
 
@@ -384,6 +394,426 @@ TEST(ParallelDeterminism, ChaosRigInsensitiveToWorkers) {
       EXPECT_EQ(dt::run_chaos(cfg, spec, true).fingerprint(), baseline)
           << "seed=" << seed << " workers=" << workers;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-pair lookahead: engine API, window widening, horizon clamps
+// ---------------------------------------------------------------------------
+
+TEST(PairLookahead, FallsBackToGlobalUntilSet) {
+  ds::Engine engine;
+  engine.set_partitions(3);
+  engine.set_lookahead(kUs);
+  EXPECT_EQ(engine.lookahead(0, 1).ps, kUs.ps);
+  engine.set_lookahead(0, 1, kUs * 7);
+  EXPECT_EQ(engine.lookahead(0, 1).ps, 7 * kUs.ps);
+  EXPECT_EQ(engine.lookahead(1, 0).ps, kUs.ps) << "other direction untouched";
+  EXPECT_EQ(engine.lookahead(2, 1).ps, kUs.ps) << "unset pair untouched";
+  engine.set_lookahead(2, 1, ds::kUnconstrainedLookahead);
+  EXPECT_EQ(engine.lookahead(2, 1).ps, ds::kUnconstrainedLookahead.ps);
+}
+
+/// Runs a 3-partition chain (0 -> 1 -> 2, messages at +10 us) and returns
+/// the number of safe windows the engine needed.  With the global 1 us
+/// lookahead every partition advances in 1 us hops; with the true per-pair
+/// matrix (10 us along the chain, unconstrained elsewhere) the same
+/// simulation needs far fewer windows.
+std::int64_t run_chain_windows(bool per_pair, std::uint32_t workers) {
+  dobs::Registry registry;
+  ds::Engine engine;
+  engine.set_metrics(&registry);
+  engine.set_partitions(3);
+  engine.set_workers(workers);
+  engine.set_lookahead(kUs);
+  const ds::Duration hop = kUs * 10;
+  if (per_pair) {
+    engine.set_lookahead(0, 1, hop);
+    engine.set_lookahead(1, 2, hop);
+    const std::pair<std::uint32_t, std::uint32_t> unconstrained[] = {
+        {0, 2}, {1, 0}, {2, 0}, {2, 1}};
+    for (const auto& [s, d] : unconstrained)
+      engine.set_lookahead(s, d, ds::kUnconstrainedLookahead);
+  }
+  auto count = std::make_shared<int>(0);
+  for (int i = 0; i < 40; ++i) {
+    engine.schedule_on(0, ds::TimePoint{(i + 1) * hop.ps}, [&engine, hop,
+                                                            count] {
+      engine.schedule_on(1, engine.now() + hop, [&engine, hop, count] {
+        engine.schedule_on(2, engine.now() + hop, [count] { ++*count; });
+      });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(*count, 40);
+  return registry.value("sim.windows") + registry.value("sim.solo_windows");
+}
+
+TEST(PairLookahead, UnconstrainedPairsWidenWindows) {
+  const std::int64_t tight = run_chain_windows(false, 2);
+  const std::int64_t wide = run_chain_windows(true, 2);
+  EXPECT_LT(wide, tight / 2)
+      << "per-pair matrix should need far fewer windows than the global "
+         "1 us lookahead (got " << wide << " vs " << tight << ")";
+  // The window count is part of the deterministic outcome: worker count
+  // must not change it.
+  EXPECT_EQ(run_chain_windows(true, 1), wide);
+  EXPECT_EQ(run_chain_windows(true, 4), wide);
+}
+
+TEST(PairLookahead, ScheduleOnAfterClampsToHorizon) {
+  for (const std::uint32_t workers : {1u, 2u}) {
+    ds::Engine engine;
+    engine.set_partitions(2);
+    engine.set_workers(workers);
+    engine.set_lookahead(kUs);
+    auto ran_ps = std::make_shared<std::int64_t>(-1);
+    engine.schedule_on(0, ds::TimePoint{kUs.ps}, [&engine, ran_ps] {
+      // "now" is below partition 1's horizon; the engine must move the
+      // event up to the horizon instead of violating the window invariant.
+      engine.schedule_on_after(1, engine.now(), [&engine, ran_ps] {
+        *ran_ps = engine.now().ps;
+      });
+    });
+    engine.run();
+    EXPECT_GE(*ran_ps, kUs.ps) << "workers=" << workers;
+  }
+}
+
+TEST(PairLookahead, SoloActivePartitionBatchesWithoutBarriers) {
+  dobs::Registry registry;
+  ds::Engine engine;
+  engine.set_metrics(&registry);
+  engine.set_partitions(2);
+  engine.set_workers(2);
+  engine.set_lookahead(kUs);
+  // Only partition 0 ever has events: every window is a solo window and the
+  // engine batches them on the calling thread.
+  auto count = std::make_shared<int>(0);
+  std::function<void(int)> chain = [&](int remaining) {
+    ++*count;
+    if (remaining > 0)
+      engine.schedule_at(engine.now() + kUs, [&chain, remaining] {
+        chain(remaining - 1);
+      });
+  };
+  engine.schedule_on(0, ds::TimePoint{0}, [&chain] { chain(50); });
+  engine.run();
+  EXPECT_EQ(*count, 51);
+  EXPECT_GT(registry.value("sim.solo_windows"), 0);
+  EXPECT_GT(registry.value("sim.window_events"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Topology-driven partitioning: partition_graph, auto_partition, fabric
+// lookahead matrices
+// ---------------------------------------------------------------------------
+
+TEST(PartitionGraph, BalancedContiguousAndDeterministic) {
+  // 6x6 grid graph.
+  ds::PartitionGraph g;
+  g.vertices = 36;
+  for (std::size_t y = 0; y < 6; ++y) {
+    for (std::size_t x = 0; x < 6; ++x) {
+      if (x + 1 < 6) g.edges.push_back({y * 6 + x, y * 6 + x + 1});
+      if (y + 1 < 6) g.edges.push_back({y * 6 + x, (y + 1) * 6 + x});
+    }
+  }
+  const auto block = ds::partition_graph(g, 4);
+  ASSERT_EQ(block.size(), 36u);
+  std::array<int, 4> sizes{};
+  for (const std::uint32_t b : block) {
+    ASSERT_LT(b, 4u);
+    sizes[b] += 1;
+  }
+  for (const int s : sizes) EXPECT_EQ(s, 9) << "balanced blocks";
+  EXPECT_EQ(ds::partition_graph(g, 4), block) << "deterministic";
+  // parts == 1 assigns everything to block 0.
+  for (const std::uint32_t b : ds::partition_graph(g, 1)) EXPECT_EQ(b, 0u);
+  EXPECT_THROW(ds::partition_graph(g, 37), du::UsageError);
+}
+
+TEST(PartitionGraph, DisconnectedGraphStillCovered) {
+  ds::PartitionGraph g;
+  g.vertices = 10;  // no edges at all
+  const auto block = ds::partition_graph(g, 3);
+  std::array<int, 3> sizes{};
+  for (const std::uint32_t b : block) sizes[b] += 1;
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2], 10);
+  for (const int s : sizes) EXPECT_GE(s, 3);
+}
+
+TEST(AutoPartition, TorusBlocksBalancedAndLookaheadTracksDistance) {
+  ds::Engine engine;
+  engine.set_partitions(5);
+  dn::TorusParams tp;
+  tp.dims = {6, 6, 6};
+  dn::TorusFabric torus(engine, "t", tp);
+  for (int n = 0; n < 200; ++n) torus.attach(n);
+
+  dn::AutoPartitionOptions opts;
+  opts.first_partition = 1;
+  const auto assignment = dn::auto_partition(torus, 4, opts);
+  ASSERT_EQ(assignment.size(), 200u);
+  std::array<int, 5> sizes{};
+  for (const auto& [node, part] : assignment) {
+    EXPECT_EQ(torus.partition_of(node), part);
+    ASSERT_GE(part, 1u);
+    ASSERT_LE(part, 4u);
+    sizes[part] += 1;
+  }
+  for (int p = 1; p <= 4; ++p) EXPECT_EQ(sizes[p], 50) << "p=" << p;
+
+  // Pair lookaheads: never below the uniform bound, and unconstrained on
+  // the diagonal.  The uniform lookahead() equals the 0-distance pair form.
+  const ds::Duration base = torus.lookahead();
+  for (std::uint32_t p = 1; p <= 4; ++p) {
+    EXPECT_EQ(torus.lookahead(p, p).ps, ds::kUnconstrainedLookahead.ps);
+    for (std::uint32_t q = 1; q <= 4; ++q) {
+      if (p == q) continue;
+      EXPECT_GE(torus.lookahead(p, q).ps, base.ps)
+          << "pair (" << p << "," << q << ")";
+      EXPECT_LT(torus.lookahead(p, q).ps, ds::kUnconstrainedLookahead.ps);
+    }
+  }
+  // Partition 0 has no torus nodes: unconstrained in both directions.
+  EXPECT_EQ(torus.lookahead(0, 1).ps, ds::kUnconstrainedLookahead.ps);
+  EXPECT_EQ(torus.lookahead(1, 0).ps, ds::kUnconstrainedLookahead.ps);
+}
+
+/// Raw-traffic torus workload fingerprint: every node ticks and sends to a
+/// rotating neighbour; returns (events, final time, receive count).
+std::string run_torus_traffic(ds::Engine& engine, dn::TorusFabric& torus,
+                              int nodes) {
+  auto received = std::make_shared<std::atomic<std::int64_t>>(0);
+  for (int n = 0; n < nodes; ++n) {
+    torus.nic(n).bind(dn::Port::Raw, [received](dn::Message&&) {
+      received->fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (int n = 0; n < nodes; ++n) {
+    const std::uint32_t part = torus.partition_of(n);
+    for (int r = 0; r < 6; ++r) {
+      engine.schedule_on(part, ds::TimePoint{(r + 1) * kUs.ps},
+                         [&torus, n, r, nodes] {
+                           dn::Message msg;
+                           msg.src = n;
+                           msg.dst = (n + 1 + 7 * r) % nodes;
+                           msg.size_bytes = 256 << (r % 3);
+                           torus.send(std::move(msg), dn::Service::Bulk);
+                         });
+    }
+  }
+  engine.run();
+  return std::to_string(engine.events_executed()) + "|" +
+         std::to_string(engine.now().ps) + "|" +
+         std::to_string(received->load()) + "|" +
+         std::to_string(torus.stats().messages) + "," +
+         std::to_string(torus.stats().bytes);
+}
+
+// The auto-partitioner must be pure topology analysis: applying its
+// assignment manually (set_node_partition + install_pair_lookahead) yields
+// the byte-identical simulation.
+TEST(AutoPartition, MatchesManualAssignment) {
+  constexpr int kNodes = 120;
+  const auto build = [](ds::Engine& engine, dn::TorusFabric& torus) {
+    engine.set_partitions(4);
+    engine.set_workers(2);
+    for (int n = 0; n < kNodes; ++n) torus.attach(n);
+  };
+  dn::TorusParams tp;
+  tp.dims = {5, 5, 5};
+
+  std::vector<std::pair<deep::hw::NodeId, std::uint32_t>> assignment;
+  std::string auto_fp;
+  {
+    ds::Engine engine;
+    dn::TorusFabric torus(engine, "t", tp);
+    build(engine, torus);
+    assignment = dn::auto_partition(torus, 4);
+    dn::install_pair_lookahead(engine, {&torus});
+    auto_fp = run_torus_traffic(engine, torus, kNodes);
+  }
+  {
+    ds::Engine engine;
+    dn::TorusFabric torus(engine, "t", tp);
+    build(engine, torus);
+    for (const auto& [node, part] : assignment)
+      torus.set_node_partition(node, part);
+    dn::install_pair_lookahead(engine, {&torus});
+    EXPECT_EQ(run_torus_traffic(engine, torus, kNodes), auto_fp);
+  }
+}
+
+TEST(AutoPartition, PinnedNodesStayPut) {
+  ds::Engine engine;
+  engine.set_partitions(3);
+  dn::TorusParams tp;
+  tp.dims = {4, 4, 4};
+  dn::TorusFabric torus(engine, "t", tp);
+  for (int n = 0; n < 40; ++n) torus.attach(n);
+  dn::AutoPartitionOptions opts;
+  opts.first_partition = 1;
+  opts.pinned = {37, 38, 39};
+  opts.pin_to = 0;
+  dn::auto_partition(torus, 2, opts);
+  for (const deep::hw::NodeId n : {37, 38, 39})
+    EXPECT_EQ(torus.partition_of(n), 0u);
+  for (int n = 0; n < 37; ++n) {
+    EXPECT_GE(torus.partition_of(n), 1u);
+    EXPECT_LE(torus.partition_of(n), 2u);
+  }
+}
+
+TEST(FaultPlan, RequiresSinglePartitionEngine) {
+  ds::Engine engine;
+  engine.set_partitions(2);
+  engine.set_lookahead(kUs);
+  dn::TorusParams tp;
+  dn::TorusFabric torus(engine, "t", tp);
+  torus.attach(0);
+  torus.attach(1);
+  dn::FaultSpec spec;
+  spec.drop_probability = 0.01;
+  dn::FaultPlan plan(engine, spec);
+  plan.attach(torus);
+  EXPECT_THROW(plan.arm(), du::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// DeepSystem partitioning: config guards and full-stack determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeepSystemPartitions, ConfigGuards) {
+  namespace dsy = deep::sys;
+  {
+    dsy::SystemConfig cfg;
+    cfg.partitions = 3;
+    cfg.faults.drop_probability = 0.01;
+    EXPECT_THROW(dsy::DeepSystem{cfg}, du::UsageError);
+  }
+  {
+    dsy::SystemConfig cfg;
+    cfg.partitions = 3;
+    cfg.bridge.policy = deep::cbp::GatewayPolicy::RoundRobin;
+    EXPECT_THROW(dsy::DeepSystem{cfg}, du::UsageError);
+  }
+  {
+    dsy::SystemConfig cfg;
+    cfg.booster_nodes = 4;
+    cfg.partitions = 6;  // more torus blocks than booster nodes
+    EXPECT_THROW(dsy::DeepSystem{cfg}, du::UsageError);
+  }
+}
+
+/// Full-stack spawn workload on a partitioned DeepSystem; returns the
+/// outcome fingerprint (job completion time, virtual end time, energy).
+std::string run_deep_system(int partitions, int workers) {
+  namespace dsy = deep::sys;
+  namespace dm = deep::mpi;
+  dsy::SystemConfig cfg;
+  cfg.cluster_nodes = 4;
+  cfg.booster_nodes = 16;
+  cfg.gateways = 2;
+  cfg.partitions = partitions;
+  cfg.workers = workers;
+  dsy::DeepSystem system(cfg);
+
+  constexpr dm::Tag kTag = 77;
+  system.programs().add("hscp", [](dsy::ProgramEnv& env) {
+    // One allreduce across the booster world plus a report to the parent.
+    const double v[1] = {1.0 + env.mpi.rank()};
+    double sum[1];
+    env.mpi.allreduce<double>(env.mpi.world(), dm::Op::Sum,
+                              std::span<const double>(v),
+                              std::span<double>(sum));
+    if (env.mpi.rank() == 0) {
+      env.mpi.send<double>(*env.mpi.parent(), 0, kTag,
+                           std::span<const double>(sum));
+    }
+  });
+  auto result = std::make_shared<double>(0);
+  system.programs().add("main", [result](dsy::ProgramEnv& env) {
+    auto inter = env.mpi.comm_spawn(env.mpi.world(), 0, "hscp", {}, 8);
+    double res[1];
+    env.mpi.recv<double>(inter, 0, kTag, std::span<double>(res));
+    *result = res[0];
+  });
+  dsy::JobHandle job = system.launch("main", 1);
+  system.run();
+  EXPECT_TRUE(job.done());
+  EXPECT_DOUBLE_EQ(*result, 8 * 9 / 2.0);  // sum over 8 ranks of (1 + rank)
+  return std::to_string(system.engine().now().ps) + "|" +
+         std::to_string(job.finished_at().ps) + "|" +
+         std::to_string(system.engine().events_executed()) + "|" +
+         std::to_string(system.energy().total_joules());
+}
+
+TEST(DeepSystemPartitions, SpawnedJobIdenticalAcrossWorkers) {
+  const std::string baseline = run_deep_system(3, 1);
+  for (const int workers : {2, 4}) {
+    EXPECT_EQ(run_deep_system(3, workers), baseline) << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper-scale sweeps: 128 CN + 384 BN Global-MPI machine, fingerprints
+// identical over workers x {chaos on, chaos off}
+// ---------------------------------------------------------------------------
+
+/// One paper-scale bridged stencil run on a partitioned rig; fingerprint
+/// covers the metrics registry, fabric stats and the final scalars.
+std::string run_paper_scale(int partitions, std::uint32_t workers) {
+  namespace dt = deep::testing;
+  dobs::Registry registry;
+  dt::BridgedMpiRig rig(128, 384, 4, deep::cbp::GatewayPolicy::ByPair, {}, {},
+                        &registry, partitions);
+  rig.engine().set_workers(workers);
+  rig.launch([](deep::mpi::Mpi& mpi) {
+    deep::apps::StencilConfig sc;
+    sc.nx = 32;
+    sc.rows = 8;
+    sc.iterations = 1;
+    deep::apps::run_jacobi(mpi, mpi.world(), sc);
+  });
+  rig.engine().run();
+  const dn::FabricStats ib = rig.ib().stats();
+  const dn::FabricStats ex = rig.extoll().stats();
+  return registry.to_json() + "|" + std::to_string(rig.engine().now().ps) +
+         "|" + std::to_string(rig.engine().events_executed()) + "|" +
+         std::to_string(ib.messages) + "," + std::to_string(ib.bytes) + "|" +
+         std::to_string(ex.messages) + "," + std::to_string(ex.bytes);
+}
+
+TEST(PaperScale, BridgedStencilIdenticalAcrossWorkers) {
+  // Partitioned run (4 torus blocks + cluster side), chaos off.
+  const std::string baseline = run_paper_scale(5, 1);
+  for (const std::uint32_t workers : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_paper_scale(5, workers), baseline) << "workers=" << workers;
+  }
+}
+
+TEST(PaperScale, ChaosSweepIdenticalAcrossWorkers) {
+  namespace dt = deep::testing;
+  // Chaos requires the single-partition engine (shared fault state); the
+  // sweep still runs the full worker range over the paper-scale machine.
+  dt::ChaosConfig cfg;
+  cfg.seed = 29;
+  cfg.cluster_ranks = 128;
+  cfg.booster_ranks = 384;
+  cfg.gateways = 4;
+  cfg.workload = dt::ChaosWorkload::Stencil;
+  cfg.iterations = 1;
+  const auto spec = dt::make_chaos_spec(cfg.seed, cfg);
+
+  cfg.workers = 1;
+  const std::string baseline =
+      dt::run_chaos(cfg, spec, /*with_metrics=*/true).fingerprint();
+  for (const int workers : {2, 4, 8}) {
+    cfg.workers = workers;
+    EXPECT_EQ(dt::run_chaos(cfg, spec, true).fingerprint(), baseline)
+        << "workers=" << workers;
   }
 }
 

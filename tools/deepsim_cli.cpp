@@ -12,6 +12,12 @@
 //     --steps N            coupling steps / iterations    (default 3)
 //     --static-partitions  use static booster partitioning
 //     --workers N          engine worker threads          (default 1)
+//     --partitions N|auto  engine partitions: the booster torus splits
+//                          into N-1 topology blocks, the cluster side
+//                          stays on partition 0; `auto` derives N from
+//                          the host's core count        (default 1)
+//     --wallclock-metrics  record per-worker barrier-wait histograms
+//                          (wall clock, hence non-deterministic)
 //     --trace FILE         write a Chrome/Perfetto trace
 //     --report             print the full system report
 //     --metrics-out FILE   write a metrics snapshot (.json or .csv)
@@ -22,11 +28,13 @@
 //
 // Exit code 0 on success (workload-specific verification included).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "apps/cholesky.hpp"
 #include "apps/nbody.hpp"
@@ -55,6 +63,8 @@ struct Options {
   int procs = 4;
   int steps = 3;
   int workers = 1;
+  std::string partitions = "1";  // integer or "auto"
+  bool wallclock_metrics = false;
   bool static_partitions = false;
   std::string trace_file;
   bool report = false;
@@ -67,7 +77,8 @@ void usage() {
       "deepsim — simulated DEEP cluster-booster machine\n"
       "  --cluster N   --booster N   --gateways N\n"
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
-      "  --static-partitions   --workers N   --trace FILE   --report\n"
+      "  --static-partitions   --workers N   --partitions N|auto\n"
+      "  --wallclock-metrics   --trace FILE   --report\n"
       "  --metrics-out FILE (.json|.csv)   --metrics-interval US   --help");
 }
 
@@ -95,6 +106,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.steps = std::atoi(next());
     } else if (arg == "--workers") {
       opt.workers = std::atoi(next());
+    } else if (arg == "--partitions") {
+      opt.partitions = next();
+    } else if (arg == "--wallclock-metrics") {
+      opt.wallclock_metrics = true;
     } else if (arg == "--workload") {
       opt.workload = next();
     } else if (arg == "--trace") {
@@ -267,9 +282,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.workers = opt.workers;
+  if (opt.partitions == "auto") {
+    // One partition per available core (the booster blocks parallelise;
+    // partition 0 carries the cluster side), capped so tiny machines do not
+    // get sliced thinner than their booster.
+    const int host = static_cast<int>(std::thread::hardware_concurrency());
+    config.partitions =
+        std::max(1, std::min({host, 1 + opt.booster, 8}));
+    std::printf("auto partitions: %d (host cpus %d)\n", config.partitions,
+                host);
+  } else {
+    config.partitions = std::atoi(opt.partitions.c_str());
+    if (config.partitions < 1) {
+      std::fprintf(stderr, "--partitions must be >= 1 or 'auto'\n");
+      return 2;
+    }
+  }
   if (opt.static_partitions)
     config.alloc_policy = dsy::AllocPolicy::StaticPartition;
   dsy::DeepSystem system(config);
+  if (opt.wallclock_metrics) system.engine().set_wallclock_metrics(true);
 
   ds::Tracer tracer;
   if (!opt.trace_file.empty()) system.engine().set_tracer(&tracer);
