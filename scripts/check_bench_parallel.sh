@@ -8,8 +8,12 @@
 #
 # The gate only means something on a machine that can actually run the
 # workers in parallel: when the measurement says "undersubscribed": true
-# (host_cpus < gate_workers), the check warns and exits 0 instead of
-# failing — a 1-CPU container cannot measure parallel speedup.
+# (host_cpus < gate_workers), the check warns and exits 0 on a developer
+# machine — a 1-CPU container cannot measure parallel speedup.  In CI
+# (CI=true, which GitHub sets on every runner) an undersubscribed
+# measurement is itself a failure: hosted runners have >= 4 vCPUs, so
+# undersubscription there means the runner shape silently changed and the
+# speedup floor would otherwise be waived forever.
 #
 # Usage: scripts/check_bench_parallel.sh [measured.json] [baseline.json]
 #   defaults: results/BENCH_parallel_ci.json, results/BENCH_parallel.json
@@ -31,6 +35,7 @@ fi
 
 python3 - "$MEASURED" "$BASELINE" <<'EOF'
 import json
+import os
 import sys
 
 with open(sys.argv[1]) as f:
@@ -55,8 +60,15 @@ if not deterministic:
     sys.exit(1)
 
 if undersubscribed:
+    if os.environ.get("CI", "").lower() in ("1", "true", "yes"):
+        print(f"FAIL: undersubscribed measurement in CI ({host_cpus} cpu(s) "
+              f"< {gate_workers} workers) — hosted runners have >= "
+              f"{gate_workers} vCPUs, so the speedup floor would be waived "
+              f"silently; fix the runner shape or the bench invocation")
+        sys.exit(1)
     print(f"SKIP: undersubscribed host ({host_cpus} cpu(s) < "
-          f"{gate_workers} workers) — speedup unmeasurable, gate waived")
+          f"{gate_workers} workers) — speedup unmeasurable, gate waived "
+          f"(local run only; CI=true makes this a failure)")
     sys.exit(0)
 
 if speedup is None:

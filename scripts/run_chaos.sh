@@ -5,11 +5,13 @@
 # ASan additionally checks that the retry/loss paths never touch freed
 # frames or leak them.  The perf suite (pool invariants, route-table
 # equivalence, zero-allocation checks — label: perf), the metrics suite
-# (registry unit tests + snapshot determinism sweeps — label: metrics) and
+# (registry unit tests + snapshot determinism sweeps — label: metrics),
 # the parallel suite (multi-worker conservative engine: determinism sweeps,
-# cross-partition teardown/wake edge cases — label: parallel) ride along so
-# the pooled hot path, the observability layer and the threaded engine are
-# sanitised too.
+# cross-partition teardown/wake edge cases — label: parallel) and the
+# resiliency suite (multi-level checkpoint/restart: 32-seed kill schedules
+# that must complete bit-identically, NVM/FS/buddy unit tests — label:
+# resiliency) ride along so the pooled hot path, the observability layer,
+# the threaded engine and the recovery path are sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -21,12 +23,27 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos/netperf/obs/metrics/parallel tests in $BUILD =="
+echo "== building chaos/netperf/obs/metrics/parallel/resiliency tests in $BUILD =="
 cmake --build "$BUILD" \
   --target chaos_test netperf_test obs_test metrics_test parallel_test \
+  resiliency_test \
   -j "$(nproc)"
 
-echo "== running chaos + perf + metrics + parallel suites =="
-ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel' \
+# Guard against silently-empty suites: a typo'd or unregistered label would
+# otherwise make `ctest -L` select nothing and "pass".  Every expected label
+# must match at least one test.
+echo "== verifying suite labels are populated =="
+for label in chaos perf metrics parallel resiliency; do
+  count=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null |
+    sed -n 's/^Total Tests: *//p')
+  if [ -z "$count" ] || [ "$count" -eq 0 ]; then
+    echo "FAIL: ctest label '$label' matches no tests — suite selection is broken" >&2
+    exit 1
+  fi
+  echo "   label '$label': $count test(s)"
+done
+
+echo "== running chaos + perf + metrics + parallel + resiliency suites =="
+ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel|resiliency' \
   -E bench_fabric_smoke --output-on-failure "$@"
 echo "chaos suite passed: sweeps replayed bit-identically (traces and metric snapshots)"

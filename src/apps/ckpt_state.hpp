@@ -1,0 +1,32 @@
+#pragma once
+// Bit-exact (de)serialisation of application checkpoint state.
+//
+// Checkpoint payloads are raw memcpy images of the kernels' double arrays:
+// a restored state is bit-identical to the saved one, so replay from a
+// checkpoint reproduces a fault-free run's arithmetic exactly — the property
+// the resiliency chaos sweep asserts.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deep::apps::detail {
+
+inline void pack(std::vector<std::byte>& out, std::span<const double> v) {
+  const std::size_t off = out.size();
+  out.resize(off + v.size_bytes());
+  if (!v.empty()) std::memcpy(out.data() + off, v.data(), v.size_bytes());
+}
+
+/// Consumes v.size_bytes() from the front of `in`.
+inline void unpack(std::span<const std::byte>& in, std::span<double> v) {
+  DEEP_EXPECT(in.size() >= v.size_bytes(),
+              "ckpt_state: restored payload too short");
+  if (!v.empty()) std::memcpy(v.data(), in.data(), v.size_bytes());
+  in = in.subspan(v.size_bytes());
+}
+
+}  // namespace deep::apps::detail

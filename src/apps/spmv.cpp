@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "apps/ckpt_state.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hw/compute.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -76,7 +78,21 @@ SpmvResult run_spmv_power(mpi::Mpi& mpi, const mpi::Comm& comm,
   SpmvResult result;
   constexpr mpi::Tag kLeftTag = 91, kRightTag = 92;
   double eigen = 0;
-  for (int iter = 0; iter < config.iterations; ++iter) {
+
+  // Roll back to the planned checkpoint, if any.  The eigen estimate is
+  // part of the state: a checkpoint at the final step must restore it even
+  // though no further iteration recomputes it.
+  int start_iter = 0;
+  if (config.ckpt != nullptr) {
+    if (auto restored = config.ckpt->restore(mpi.ctx())) {
+      std::span<const std::byte> in(restored->bytes);
+      detail::unpack(in, std::span<double>(x));
+      detail::unpack(in, std::span<double>(&eigen, 1));
+      start_iter = static_cast<int>(restored->version);
+    }
+  }
+
+  for (int iter = start_iter; iter < config.iterations; ++iter) {
     // Halo exchange with the neighbouring ranks (regular pattern).
     std::vector<mpi::RequestPtr> reqs;
     const std::span<double> xs(x);
@@ -125,6 +141,15 @@ SpmvResult run_spmv_power(mpi::Mpi& mpi, const mpi::Comm& comm,
 
     // Modelled cost of the local multiply (memory-bound).
     mpi.compute(hw::kernels::spmv(a.row_ptr.back()), mpi.node().spec().cores);
+
+    if (config.ckpt != nullptr && config.ckpt->interval() > 0 &&
+        (iter + 1) % config.ckpt->interval() == 0) {
+      std::vector<std::byte> state;
+      detail::pack(state, std::span<const double>(x));
+      detail::pack(state, std::span<const double>(&eigen, 1));
+      config.ckpt->save(mpi.ctx(), static_cast<std::uint64_t>(iter + 1),
+                        std::move(state));
+    }
   }
 
   double local_sum = 0;

@@ -14,6 +14,10 @@
 
 #include "mpi/mpi.hpp"
 
+namespace deep::ckpt {
+class Checkpointer;
+}
+
 namespace deep::apps {
 
 struct SpmvConfig {
@@ -22,6 +26,11 @@ struct SpmvConfig {
   int nnz_per_row = 8;    // including the diagonal
   int iterations = 10;    // power-iteration steps
   std::uint64_t seed = 33;
+  /// Checkpoint/restart handle (ProgramEnv::ckpt): state is the x vector
+  /// (halos included) plus the running eigenvalue estimate, saved every
+  /// ckpt->interval() steps; replay from a restore is bit-exact.
+  /// halo_bytes counts only the current attempt's traffic.
+  ckpt::Checkpointer* ckpt = nullptr;
 };
 
 struct SpmvResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "apps/ckpt_state.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hw/compute.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -33,7 +35,19 @@ StencilResult run_jacobi(mpi::Mpi& mpi, const mpi::Comm& comm,
   double last_update = 0.0;
   constexpr mpi::Tag kUpTag = 71, kDownTag = 72;
 
-  for (int iter = 0; iter < config.iterations; ++iter) {
+  // Roll back to the planned checkpoint, if any: version v is the state
+  // after completing iteration v-1, so the loop resumes at iter == v.
+  int start_iter = 0;
+  if (config.ckpt != nullptr) {
+    if (auto restored = config.ckpt->restore(mpi.ctx())) {
+      std::span<const std::byte> in(restored->bytes);
+      detail::unpack(in, std::span<double>(grid));
+      detail::unpack(in, std::span<double>(&last_update, 1));
+      start_iter = static_cast<int>(restored->version);
+    }
+  }
+
+  for (int iter = start_iter; iter < config.iterations; ++iter) {
     // Halo exchange: send my top interior row up, bottom interior row down.
     std::vector<mpi::RequestPtr> reqs;
     const std::span<double> top_halo(&grid[idx(0, 0)], static_cast<std::size_t>(nx));
@@ -74,6 +88,15 @@ StencilResult run_jacobi(mpi::Mpi& mpi, const mpi::Comm& comm,
 
     // Burn the modelled sweep time on this rank's cores.
     mpi.compute(hw::kernels::jacobi2d(nx, rows), mpi.node().spec().cores);
+
+    if (config.ckpt != nullptr && config.ckpt->interval() > 0 &&
+        (iter + 1) % config.ckpt->interval() == 0) {
+      std::vector<std::byte> state;
+      detail::pack(state, std::span<const double>(grid));
+      detail::pack(state, std::span<const double>(&last_update, 1));
+      config.ckpt->save(mpi.ctx(), static_cast<std::uint64_t>(iter + 1),
+                        std::move(state));
+    }
   }
 
   // Global reductions: residual (max) and checksum (sum).

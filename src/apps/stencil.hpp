@@ -13,6 +13,10 @@
 
 #include "mpi/mpi.hpp"
 
+namespace deep::ckpt {
+class Checkpointer;
+}
+
 namespace deep::apps {
 
 struct StencilConfig {
@@ -20,6 +24,13 @@ struct StencilConfig {
   int rows = 64;         // interior rows per rank
   int iterations = 20;
   double top_value = 1.0;  // Dirichlet condition on the global top edge
+  /// Checkpoint/restart handle (ProgramEnv::ckpt).  When set, the kernel
+  /// restores the last planned checkpoint on entry and saves its full state
+  /// (grid + residual tracker) every ckpt->interval() iterations; replay
+  /// from a restored state is bit-exact, so a recovered run produces the
+  /// same residual/checksum as a fault-free one.  halo_messages counts only
+  /// the current attempt's traffic.
+  ckpt::Checkpointer* ckpt = nullptr;
 };
 
 struct StencilResult {

@@ -17,7 +17,10 @@ net::Message unwrap_frame(net::Message&& wrapped, const net::CbpFrame& frame) {
   inner.dst = frame.inner_dst;
   inner.port = frame.inner_port;
   inner.size_bytes = frame.inner_size_bytes;
-  if (frame.inner_has_wire) inner.header = frame.inner_wire;
+  if (frame.inner_has_wire)
+    inner.header = frame.inner_wire;
+  else if (frame.inner_has_io)
+    inner.header = frame.inner_io;
   inner.payload = std::move(wrapped.payload);
   return inner;
 }
@@ -333,6 +336,9 @@ void BridgedTransport::send(net::Message msg, net::Service svc) {
   if (const auto* wh = net::wire_header(msg)) {
     frame.inner_has_wire = true;
     frame.inner_wire = *wh;
+  } else if (const auto* ih = net::io_header(msg)) {
+    frame.inner_has_io = true;
+    frame.inner_io = *ih;
   }
   frame.svc = svc;
   frame.attempts = 0;

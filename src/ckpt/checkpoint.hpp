@@ -1,0 +1,266 @@
+#pragma once
+// deep::ckpt — SCR-style multi-level checkpoint/restart (the DEEP-ER
+// resiliency design, docs/resiliency.md).
+//
+// Three levels, cheapest first:
+//   L1  local:  the rank's state on its own node's NVM — fast, but dies
+//               with the node;
+//   L2  buddy:  a copy pushed to a partner node's NVM over the fabric
+//               (io::IoNet BuddyWrite) — survives the owner's death, dies
+//               with the buddy;
+//   L3  global: a striped file on the parallel FS (io::ParallelFs) —
+//               durable, slowest.
+//
+// The Store is pure bookkeeping: which (rank, level, version) copies exist,
+// where the volatile ones live, which are still valid after node deaths.
+// plan_restart() is the recovery policy: the newest version every rank can
+// still reach, fetched from the cheapest level each rank still holds.
+// The Manager binds the Store to the machine — NVM devices for L1 residency
+// and timing, IoNet for buddy traffic, ParallelFs for L3 — and owns the
+// recovery metrics.  A Checkpointer is one rank's view, the handle threaded
+// into application kernels.
+//
+// Pay-for-what-you-use: a Manager over inactive CkptParams registers no
+// instruments and contributes zero events — a run with an inert manager is
+// byte-identical (trace and metrics JSON) to one with no manager at all,
+// which the resiliency property test asserts.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "io/fs.hpp"
+#include "io/ionet.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace deep::ckpt {
+
+/// Thrown by Manager::restore when every level of the planned version fails
+/// to materialise (all copies lost or unreachable).  The resilient job layer
+/// catches it and counts the attempt as failed.
+struct RestoreError : util::SimError {
+  using util::SimError::SimError;
+};
+
+enum class Level : std::uint8_t { L1 = 1, L2 = 2, L3 = 3 };
+inline const char* level_name(Level l) {
+  switch (l) {
+    case Level::L1: return "L1";
+    case Level::L2: return "L2";
+    case Level::L3: return "L3";
+  }
+  return "?";
+}
+
+struct CkptParams {
+  int interval = 0;  // app steps between checkpoints; 0 = checkpointing off
+  int l2_every = 1;  // every k-th checkpoint copies to the buddy (0: never)
+  int l3_every = 4;  // every k-th checkpoint goes to the FS (0: never)
+  int history = 2;   // versions retained per (rank, level)
+
+  bool active() const { return interval > 0; }
+};
+
+/// One stored copy of a rank's state.
+struct Copy {
+  std::uint64_t version = 0;
+  hw::NodeId holder = hw::kInvalidNode;  // kInvalidNode: durable (L3)
+  bool valid = false;
+  std::int64_t alloc_bytes = 0;  // NVM residency still charged to `holder`
+  std::vector<std::byte> bytes;  // the state itself (exact replay payload)
+};
+
+/// The recovery policy's verdict: which version to roll back to and which
+/// level each rank fetches it from.
+struct RestartPlan {
+  std::uint64_t version = 0;
+  std::vector<Level> level;  // indexed by rank
+};
+
+/// What a rank gets back from restore(): the planned version's exact bytes.
+struct RestoredState {
+  std::uint64_t version = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Checkpoint bookkeeping: copies per (rank, level) with bounded history.
+/// Engine-free and deterministic — unit-tested directly.
+class Store {
+ public:
+  Store(int nranks, int history);
+
+  int nranks() const { return nranks_; }
+
+  /// Records a copy; trims history and returns the evicted copies so the
+  /// caller can release their NVM residency (Copy::alloc_bytes).
+  std::vector<Copy> put(int rank, Level level, std::uint64_t version,
+                        hw::NodeId holder, std::int64_t alloc_bytes,
+                        std::vector<std::byte> bytes);
+
+  /// The valid copy of (rank, level, version), or nullptr.
+  const Copy* find(int rank, Level level, std::uint64_t version) const;
+
+  /// Marks every copy held on `node` invalid (the node died; its NVM
+  /// contents are gone).  Returns (holder, bytes) residency charges to
+  /// release — each exactly once, even if the node dies twice.
+  std::vector<std::pair<hw::NodeId, std::int64_t>> invalidate_holder(
+      hw::NodeId node);
+
+  /// Versions of valid copies for (rank, level), newest first (tests).
+  std::vector<std::uint64_t> versions(int rank, Level level) const;
+
+  /// Newest version every rank can still reach, cheapest level per rank;
+  /// nullopt when no version is complete (restart from scratch).
+  std::optional<RestartPlan> plan_restart() const;
+
+ private:
+  std::deque<Copy>& slot(int rank, Level level);
+  const std::deque<Copy>& slot(int rank, Level level) const;
+
+  int nranks_;
+  int history_;
+  std::vector<std::deque<Copy>> slots_;  // [rank * 3 + level - 1]
+};
+
+/// Binds the Store to the machine model and owns the recovery metrics.
+/// `rank_nodes[r]` is the node rank r runs on (and checkpoints from).
+/// `ionet`/`fs` may be null when the corresponding level is disabled
+/// (l2_every == 0 / l3_every == 0).
+class Manager {
+ public:
+  Manager(sim::Engine& engine, CkptParams params,
+          std::vector<hw::Node*> rank_nodes, io::IoNet* ionet,
+          io::ParallelFs* fs);
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  const CkptParams& params() const { return params_; }
+  Store& store() { return store_; }
+  int nranks() const { return static_cast<int>(rank_nodes_.size()); }
+  hw::Node* rank_node(int rank) const {
+    return rank_nodes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Rank r's L2 partner: the node of the next rank (cyclically) living on
+  /// the same node kind, so buddy traffic stays on the rank's own fabric
+  /// when possible; falls back to the next rank of any kind.
+  hw::NodeId buddy_node(int rank) const;
+
+  // -- node liveness (wire to net::FaultPlan::set_node_control) ------------
+  void on_node_event(hw::NodeId node, bool up);
+  bool node_up(hw::NodeId node) const;
+  bool all_rank_nodes_up() const;
+
+  // -- save/restore (called from rank fibers, process context) -------------
+
+  /// Checkpoints `bytes` as `version` for `rank`: L1 to local NVM, plus the
+  /// periodic L2 buddy copy and L3 FS write.  A level whose transfer fails
+  /// is skipped (the checkpoint degrades, the job continues).
+  void save(sim::Context& ctx, int rank, std::uint64_t version,
+            std::vector<std::byte> bytes);
+
+  /// Fetches `rank`'s state per the current restart plan; nullopt when no
+  /// plan is set (fresh start — also counts the rank as ready for the
+  /// recovery-latency metric).  Falls back level by level (cheapest first)
+  /// if the planned copy is gone; throws RestoreError when all levels fail.
+  std::optional<RestoredState> restore(sim::Context& ctx, int rank);
+
+  // -- restart orchestration (called by sys::ResilientJob) -----------------
+
+  /// Installs the plan ranks will restore from in the next attempt
+  /// (nullopt: restart from scratch).
+  void set_plan(std::optional<RestartPlan> plan);
+  std::optional<RestartPlan> plan_restart() const {
+    return store_.plan_restart();
+  }
+
+  /// Marks the moment an attempt's failure was detected; the recovery clock
+  /// runs until every rank of the next attempt reported ready.
+  void begin_recovery(sim::TimePoint failed_at);
+
+  /// Monotone work indicator for the job watchdog: grows with every save,
+  /// restore and rank-ready event.
+  std::int64_t progress_ticks() const { return progress_; }
+
+  // -- stats ---------------------------------------------------------------
+  std::int64_t saves() const { return saves_; }
+  std::int64_t restores() const { return restores_; }
+  std::int64_t restores_at(Level l) const {
+    return restores_at_[static_cast<std::size_t>(l) - 1];
+  }
+  std::int64_t rollbacks() const { return rollbacks_; }
+  std::int64_t scratch_restarts() const { return scratch_restarts_; }
+
+ private:
+  friend class Checkpointer;
+
+  std::string l3_path(int rank, std::uint64_t version) const;
+  void release(const std::vector<std::pair<hw::NodeId, std::int64_t>>& charges);
+  void release_evicted(const std::vector<Copy>& evicted);
+  /// True when the fetch's modelled transfer succeeded.
+  bool fetch(sim::Context& ctx, int rank, Level level, const Copy& copy);
+  void note_rank_ready(sim::TimePoint now);
+
+  sim::Engine* engine_;
+  CkptParams params_;
+  std::vector<hw::Node*> rank_nodes_;
+  io::IoNet* ionet_;
+  io::ParallelFs* fs_;
+  Store store_;
+  std::vector<int> save_seq_;  // per-rank checkpoint counter (1-based)
+  std::vector<hw::NodeId> down_nodes_;
+  std::optional<RestartPlan> plan_;
+  // Recovery-latency clock.
+  bool recovering_ = false;
+  sim::TimePoint failed_at_{};
+  int ranks_ready_ = 0;
+  // Stats.
+  std::int64_t progress_ = 0;
+  std::int64_t saves_ = 0;
+  std::int64_t restores_ = 0;
+  std::int64_t restores_at_[3] = {0, 0, 0};
+  std::int64_t rollbacks_ = 0;
+  std::int64_t scratch_restarts_ = 0;
+  // Instruments (registered only when params_.active()).
+  obs::Counter m_l1_bytes_;          // ckpt.l1_bytes
+  obs::Counter m_l2_bytes_;          // ckpt.l2_bytes
+  obs::Counter m_l3_bytes_;          // ckpt.l3_bytes
+  obs::Counter m_saves_;             // ckpt.saves
+  obs::Counter m_restores_;          // ckpt.restores
+  obs::Counter m_rollbacks_;         // ckpt.rollbacks
+  obs::Counter m_scratch_;           // ckpt.scratch_restarts
+  obs::Counter m_level_failures_;    // ckpt.level_failures
+  obs::Histogram m_save_ns_;         // ckpt.save_ns (per save, all levels)
+  obs::Histogram m_restore_ns_;      // ckpt.restore_ns (per rank)
+  obs::Histogram m_recovery_ns_;     // ckpt.recovery_ns (failure -> all ready)
+};
+
+/// One rank's handle on the Manager — what application kernels see.
+class Checkpointer {
+ public:
+  Checkpointer(Manager& manager, int rank) : manager_(&manager), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  /// Steps between checkpoints; 0 disables checkpointing in the kernel.
+  int interval() const { return manager_->params().interval; }
+
+  void save(sim::Context& ctx, std::uint64_t version,
+            std::vector<std::byte> bytes) {
+    manager_->save(ctx, rank_, version, std::move(bytes));
+  }
+  std::optional<RestoredState> restore(sim::Context& ctx) {
+    return manager_->restore(ctx, rank_);
+  }
+
+ private:
+  Manager* manager_;
+  int rank_;
+};
+
+}  // namespace deep::ckpt

@@ -6,10 +6,12 @@
 // code burns time: it advances the calling process's virtual time by the
 // roofline model and books the energy.
 
+#include <memory>
 #include <string>
 
 #include "hw/compute.hpp"
 #include "hw/energy.hpp"
+#include "hw/nvm.hpp"
 #include "hw/spec.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -19,7 +21,9 @@ namespace deep::hw {
 class Node {
  public:
   Node(NodeId id, std::string name, NodeSpec spec)
-      : id_(id), name_(std::move(name)), spec_(std::move(spec)), meter_(spec_) {}
+      : id_(id), name_(std::move(name)), spec_(std::move(spec)), meter_(spec_) {
+    if (spec_.nvm.present()) nvm_ = std::make_unique<NvmDevice>(spec_.nvm);
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -30,6 +34,10 @@ class Node {
   NodeKind kind() const { return spec_.kind; }
   EnergyMeter& meter() { return meter_; }
   const EnergyMeter& meter() const { return meter_; }
+
+  /// The node's NVM device, or nullptr when the spec has none.
+  NvmDevice* nvm() { return nvm_.get(); }
+  const NvmDevice* nvm() const { return nvm_.get(); }
 
   /// Executes `cost` on `cores` cores of this node: blocks the calling
   /// process for the modelled time and accounts busy-time + flops.
@@ -55,6 +63,7 @@ class Node {
   std::string name_;
   NodeSpec spec_;
   EnergyMeter meter_;
+  std::unique_ptr<NvmDevice> nvm_;
 };
 
 }  // namespace deep::hw

@@ -1,0 +1,100 @@
+#pragma once
+// Per-node non-volatile memory device (DEEP-ER: an NVMe card on every node,
+// the substrate of the L1 checkpoint level and of the parallel-FS storage
+// targets on the gateway/BI nodes).
+//
+// The device is *serialized*: concurrent accesses queue behind each other in
+// virtual time (free_at_), so two checkpoints racing onto the same card see
+// realistic contention.  reserve() is the event-context primitive — it books
+// the device and returns the absolute completion time without blocking — and
+// read()/write() are the blocking process-context helpers built on it.
+// Energy: the device draws active_watts while busy; deep::sys folds
+// active_joules() into the system EnergyReport.
+
+#include <cstdint>
+
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/error.hpp"
+
+namespace deep::hw {
+
+class NvmDevice {
+ public:
+  explicit NvmDevice(const NvmSpec& spec) : spec_(spec) {
+    DEEP_EXPECT(spec_.present(), "NvmDevice: zero-capacity spec");
+    DEEP_EXPECT(spec_.read_bw_bytes_per_sec > 0 &&
+                    spec_.write_bw_bytes_per_sec > 0,
+                "NvmDevice: bandwidth must be positive");
+  }
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  const NvmSpec& spec() const { return spec_; }
+
+  /// Duration of one isolated access (latency + bytes over bandwidth).
+  sim::Duration access_time(std::int64_t bytes, bool write) const {
+    DEEP_EXPECT(bytes >= 0, "NvmDevice: negative access size");
+    const double bw = write ? spec_.write_bw_bytes_per_sec
+                            : spec_.read_bw_bytes_per_sec;
+    return sim::from_seconds(spec_.access_latency_us * 1e-6 +
+                             static_cast<double>(bytes) / bw);
+  }
+
+  /// Books one access starting no earlier than `now` (queueing behind any
+  /// access still in flight) and returns its completion time.  Safe from
+  /// event context; does not block.
+  sim::TimePoint reserve(sim::TimePoint now, std::int64_t bytes, bool write) {
+    const sim::TimePoint start = free_at_.ps > now.ps ? free_at_ : now;
+    const sim::Duration d = access_time(bytes, write);
+    free_at_ = start + d;
+    busy_ps_ += d.ps;
+    (write ? bytes_written_ : bytes_read_) += bytes;
+    return free_at_;
+  }
+
+  /// Blocking process-context access: reserves and sleeps until completion.
+  void write(sim::Context& ctx, std::int64_t bytes) { access(ctx, bytes, true); }
+  void read(sim::Context& ctx, std::int64_t bytes) { access(ctx, bytes, false); }
+
+  /// Capacity accounting for resident data (checkpoint copies, FS chunks).
+  /// try_alloc() fails — rather than over-committing — when the device is
+  /// full; callers evict and retry or skip the level.
+  bool try_alloc(std::int64_t bytes) {
+    DEEP_EXPECT(bytes >= 0, "NvmDevice: negative allocation");
+    if (used_bytes_ + bytes > spec_.capacity_bytes) return false;
+    used_bytes_ += bytes;
+    return true;
+  }
+  void release(std::int64_t bytes) {
+    DEEP_EXPECT(bytes >= 0 && bytes <= used_bytes_,
+                "NvmDevice: releasing more than allocated");
+    used_bytes_ -= bytes;
+  }
+
+  std::int64_t used_bytes() const { return used_bytes_; }
+  std::int64_t free_bytes() const { return spec_.capacity_bytes - used_bytes_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+  std::int64_t bytes_read() const { return bytes_read_; }
+
+  /// Cumulative busy time and the energy it cost (active draw only; the
+  /// idle draw is part of the node's idle_watts).
+  double busy_seconds() const { return static_cast<double>(busy_ps_) * 1e-12; }
+  double active_joules() const { return spec_.active_watts * busy_seconds(); }
+
+ private:
+  void access(sim::Context& ctx, std::int64_t bytes, bool write) {
+    const sim::TimePoint done = reserve(ctx.now(), bytes, write);
+    ctx.delay(done - ctx.now());
+  }
+
+  NvmSpec spec_;
+  sim::TimePoint free_at_{};
+  std::int64_t used_bytes_ = 0;
+  std::int64_t busy_ps_ = 0;
+  std::int64_t bytes_written_ = 0;
+  std::int64_t bytes_read_ = 0;
+};
+
+}  // namespace deep::hw

@@ -2,6 +2,30 @@
 
 namespace deep::hw {
 
+NvmSpec node_nvm() {
+  // DEEP-ER puts a 400 GB NVMe card on every node; ~1.4/1.0 GB/s sequential
+  // read/write with ~20 us access latency is the 2015-era device class.
+  NvmSpec n;
+  n.capacity_bytes = 400LL * 1000 * 1000 * 1000;
+  n.read_bw_bytes_per_sec = 1.4e9;
+  n.write_bw_bytes_per_sec = 1.0e9;
+  n.access_latency_us = 20.0;
+  n.active_watts = 12.0;
+  return n;
+}
+
+NvmSpec storage_target_nvm() {
+  // Gateway/BI nodes double as the parallel-FS storage targets: a larger,
+  // faster array (RAID across several devices).
+  NvmSpec n;
+  n.capacity_bytes = 2000LL * 1000 * 1000 * 1000;
+  n.read_bw_bytes_per_sec = 4.0e9;
+  n.write_bw_bytes_per_sec = 3.0e9;
+  n.access_latency_us = 30.0;
+  n.active_watts = 35.0;
+  return n;
+}
+
 const char* to_string(NodeKind kind) {
   switch (kind) {
     case NodeKind::Cluster:
@@ -26,6 +50,7 @@ NodeSpec xeon_cluster_node() {
   s.mem_bw_bytes_per_sec = 80e9;
   s.idle_watts = 120.0;
   s.peak_watts = 350.0;  // ~1 GFlop/W at peak, as BG-era clusters were
+  s.nvm = node_nvm();
   return s;
 }
 
@@ -39,6 +64,7 @@ NodeSpec knc_booster_node() {
   s.mem_bw_bytes_per_sec = 150e9;     // GDDR5, achievable stream
   s.idle_watts = 90.0;
   s.peak_watts = 225.0;  // ~4.5 GFlop/W: the paper's "5 GFlop/W" class
+  s.nvm = node_nvm();
   return s;
 }
 
@@ -52,6 +78,7 @@ NodeSpec gateway_node() {
   s.mem_bw_bytes_per_sec = 40e9;
   s.idle_watts = 60.0;
   s.peak_watts = 120.0;
+  s.nvm = storage_target_nvm();
   return s;
 }
 

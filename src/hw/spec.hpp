@@ -27,6 +27,18 @@ enum class NodeKind {
 
 const char* to_string(NodeKind kind);
 
+/// Per-node non-volatile memory (DEEP-ER: NVMe devices on every node, the
+/// first checkpoint level).  capacity_bytes == 0 means the node has none.
+struct NvmSpec {
+  std::int64_t capacity_bytes = 0;
+  double read_bw_bytes_per_sec = 1.0;
+  double write_bw_bytes_per_sec = 1.0;
+  double access_latency_us = 0.0;  // per-operation setup latency
+  double active_watts = 0.0;       // drawn while the device is busy
+
+  bool present() const { return capacity_bytes > 0; }
+};
+
 /// Static description of one node's silicon.
 struct NodeSpec {
   std::string model;
@@ -37,6 +49,7 @@ struct NodeSpec {
   double mem_bw_bytes_per_sec = 1.0;      // achievable stream bandwidth
   double idle_watts = 0.0;
   double peak_watts = 0.0;
+  NvmSpec nvm;  // absent (capacity 0) unless the preset provides one
 
   /// Peak double-precision flop rate of the whole node (flops/second).
   double peak_flops() const {
@@ -56,5 +69,11 @@ NodeSpec knc_booster_node();
 NodeSpec gateway_node();
 /// Kepler-class GPU (K20X) used by the accelerated-cluster baseline.
 NodeSpec kepler_gpu_device();
+
+/// Per-node NVMe of the compute nodes (DEEP-ER checkpoint level 1 medium).
+NvmSpec node_nvm();
+/// The larger RAID-backed array on the gateway/BI nodes, which double as
+/// the parallel filesystem's storage targets.
+NvmSpec storage_target_nvm();
 
 }  // namespace deep::hw

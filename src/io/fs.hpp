@@ -1,0 +1,86 @@
+#pragma once
+// ParallelFs: a BeeGFS-flavoured parallel filesystem model (DEEP-ER L3).
+//
+// Files are striped round-robin over a set of storage targets — in the DEEP
+// architecture the gateway/interface nodes, whose large NVM devices double
+// as storage tier.  A write splits the file into stripe_bytes chunks, issues
+// every chunk's IoNet FsWrite concurrently (chunk i lands on
+// targets[i % n]), then waits for all of them; reads mirror that.  All chunk
+// traffic rides io::IoNet and therefore net::Fabric — striping parallelism,
+// gateway bridging, chaos and retry/timeout behaviour all compose.
+//
+// Durability model: targets are the durable tier (RAID across NVM in the
+// DEEP-ER prototype), so file *contents* survive node failures — a dead
+// target only makes chunks unreachable (transfers time out) until it heals.
+// The metadata map lives in the model, not on a simulated node: metadata
+// service cost is folded into the per-chunk operations.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/ionet.hpp"
+
+namespace deep::io {
+
+struct FsParams {
+  std::int64_t stripe_bytes = 64 * 1024;
+};
+
+class ParallelFs {
+ public:
+  ParallelFs(IoNet& net, std::vector<hw::NodeId> targets, FsParams params = {});
+  ParallelFs(const ParallelFs&) = delete;
+  ParallelFs& operator=(const ParallelFs&) = delete;
+
+  const FsParams& params() const { return params_; }
+  const std::vector<hw::NodeId>& targets() const { return targets_; }
+
+  /// Number of stripe chunks a `bytes`-sized file occupies (>= 1).
+  std::int64_t chunk_count(std::int64_t bytes) const;
+  /// Storage target holding chunk `index` (round-robin placement).
+  hw::NodeId target_of(std::int64_t index) const {
+    return targets_[static_cast<std::size_t>(index) % targets_.size()];
+  }
+
+  /// Blocking striped write of `bytes` to `path` from node `self`.  True
+  /// when every chunk was stored; a failed write leaves any previous version
+  /// of the file intact (copy-on-write semantics).
+  bool write(sim::Context& ctx, hw::NodeId self, const std::string& path,
+             std::int64_t bytes);
+
+  /// Blocking striped read of `path` to node `self`.  False when the file
+  /// does not exist or any chunk transfer exhausts its retries.
+  bool read(sim::Context& ctx, hw::NodeId self, const std::string& path);
+
+  bool exists(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+  /// Stored size of `path`, or -1 when absent.
+  std::int64_t size_of(const std::string& path) const;
+
+  std::int64_t files() const { return static_cast<std::int64_t>(files_.size()); }
+  std::int64_t bytes_stored() const { return bytes_stored_; }
+  std::int64_t writes() const { return writes_; }
+  std::int64_t reads() const { return reads_; }
+  std::int64_t failed_ops() const { return failed_ops_; }
+
+ private:
+  bool transfer_chunks(sim::Context& ctx, hw::NodeId self, std::int64_t bytes,
+                       bool write);
+
+  IoNet* net_;
+  std::vector<hw::NodeId> targets_;
+  FsParams params_;
+  std::map<std::string, std::int64_t> files_;  // path -> size
+  std::int64_t bytes_stored_ = 0;
+  std::int64_t writes_ = 0;
+  std::int64_t reads_ = 0;
+  std::int64_t failed_ops_ = 0;
+  obs::Counter m_write_bytes_;  // fs.write_bytes
+  obs::Counter m_read_bytes_;   // fs.read_bytes
+  obs::Counter m_chunks_;       // fs.chunks
+};
+
+}  // namespace deep::io

@@ -12,6 +12,9 @@ FaultPlan::FaultPlan(sim::Engine& engine, FaultSpec spec)
   for (const GatewayEvent& ev : spec_.gateways)
     DEEP_EXPECT(ev.gateway != hw::kInvalidNode,
                 "FaultPlan: gateway event names an invalid node");
+  for (const NodeEvent& ev : spec_.nodes)
+    DEEP_EXPECT(ev.node != hw::kInvalidNode,
+                "FaultPlan: node event names an invalid node");
 }
 
 void FaultPlan::attach(Fabric& fabric) {
@@ -32,6 +35,11 @@ void FaultPlan::attach(Fabric& fabric) {
 void FaultPlan::set_gateway_control(GatewayControl control) {
   DEEP_EXPECT(!armed_, "FaultPlan::set_gateway_control: plan already armed");
   gateway_control_ = std::move(control);
+}
+
+void FaultPlan::set_node_control(NodeControl control) {
+  DEEP_EXPECT(!armed_, "FaultPlan::set_node_control: plan already armed");
+  node_control_ = std::move(control);
 }
 
 void FaultPlan::arm() {
@@ -60,6 +68,17 @@ void FaultPlan::arm() {
   for (const GatewayEvent& ev : spec_.gateways) {
     engine_->schedule_at(
         ev.at, [this, ev] { gateway_control_(ev.gateway, ev.up); });
+  }
+  for (const NodeEvent& ev : spec_.nodes) {
+    engine_->schedule_at(ev.at, [this, ev] {
+      // Cut (or restore) the node's own fabric access everywhere first, so
+      // the control hook observes the final link state.
+      for (Fabric* fabric : fabrics_) {
+        if (fabric->attached(ev.node))
+          fabric->set_link_up(ev.node, ev.node, ev.up);
+      }
+      if (node_control_) node_control_(ev.node, ev.up);
+    });
   }
 }
 

@@ -37,16 +37,28 @@ struct GatewayEvent {
   bool up = false;
 };
 
+/// Scheduled death (up=false) or repair (up=true) of a whole node.  A dead
+/// node loses fabric access on every attached fabric (set_link_up(n, n)) and
+/// the node-control hook fires — the checkpoint layer invalidates volatile
+/// copies held there, the job layer kills the rank fibers running on it.
+struct NodeEvent {
+  sim::TimePoint at;
+  hw::NodeId node = hw::kInvalidNode;
+  bool up = false;
+};
+
 struct FaultSpec {
   std::uint64_t seed = 0xFA17;
   /// Probability that any single fabric traversal drops the message.
   double drop_probability = 0.0;
   std::vector<LinkEvent> links;
   std::vector<GatewayEvent> gateways;
+  std::vector<NodeEvent> nodes;
 
   /// False for the all-defaults spec: such a plan is a complete no-op.
   bool active() const {
-    return drop_probability > 0.0 || !links.empty() || !gateways.empty();
+    return drop_probability > 0.0 || !links.empty() || !gateways.empty() ||
+           !nodes.empty();
   }
 };
 
@@ -70,6 +82,12 @@ class FaultPlan {
   using GatewayControl = std::function<void(hw::NodeId, bool)>;
   void set_gateway_control(GatewayControl control);
 
+  /// Hook invoked when a NodeEvent fires, *after* the node's fabric access
+  /// was cut (or restored) on every attached fabric.  The resiliency layers
+  /// install this to invalidate checkpoint copies and abort rank fibers.
+  using NodeControl = std::function<void(hw::NodeId, bool)>;
+  void set_node_control(NodeControl control);
+
   /// Schedules every link/gateway event on the engine.  Call exactly once,
   /// after all attach()/set_gateway_control() calls, before the run.
   void arm();
@@ -83,6 +101,7 @@ class FaultPlan {
   util::Rng rng_;
   std::vector<Fabric*> fabrics_;
   GatewayControl gateway_control_;
+  NodeControl node_control_;
   std::int64_t injected_drops_ = 0;
   bool armed_ = false;
 };

@@ -26,6 +26,7 @@ namespace deep::net {
 enum class Port : std::uint16_t {
   Mpi = 1,   // ParaStation-MPI transport
   Cbp = 2,   // Cluster-Booster Protocol (gateway bridging)
+  Io = 3,    // storage traffic (io::IoNet: parallel FS, buddy checkpoints)
   Raw = 15,  // microbenchmarks / tests
 };
 
@@ -37,6 +38,18 @@ enum class Service {
   Bulk,     // bandwidth-optimised, e.g. rendezvous data
   Control,  // tiny protocol messages (RTS/CTS): ride a priority virtual
             // channel and do not queue behind bulk traffic
+};
+
+/// Storage-protocol header (io::IoNet): one request/reply of a parallel-FS
+/// or buddy-checkpoint transfer.  The wire cost is the message's size_bytes;
+/// this header only correlates replies with pending operations.  `kind` is
+/// an io::OpKind value kept as a raw byte so net:: stays independent of io::.
+struct IoHeader {
+  std::uint64_t op = 0;                       // requester-unique operation id
+  hw::NodeId requester = hw::kInvalidNode;    // node to send the reply to
+  std::uint8_t kind = 0;                      // io::OpKind
+  bool reply = false;                         // request vs completion
+  std::int64_t reply_bytes = 0;               // payload the reply will carry
 };
 
 /// Cluster-Booster Protocol frame: the gateway-bridging envelope around a
@@ -53,13 +66,15 @@ struct CbpFrame {
   std::int64_t inner_size_bytes = 0;
   bool inner_has_wire = false;     // inner message carried a WireHeader
   mpi::WireHeader inner_wire{};    // valid iff inner_has_wire
+  bool inner_has_io = false;       // inner message carried an IoHeader
+  IoHeader inner_io{};             // valid iff inner_has_io
   Service svc = Service::Small;    // service class to re-inject with
   int attempts = 0;                // delivery attempts so far (retry cap)
   hw::NodeId last_gateway = hw::kInvalidNode;  // gateway to avoid on retry
 };
 
 /// The closed set of protocol headers a Message can carry in place.
-using Header = std::variant<std::monostate, mpi::WireHeader, CbpFrame>;
+using Header = std::variant<std::monostate, mpi::WireHeader, CbpFrame, IoHeader>;
 
 struct Message {
   hw::NodeId src = hw::kInvalidNode;
@@ -82,6 +97,12 @@ inline CbpFrame* cbp_frame(Message& m) {
 }
 inline const CbpFrame* cbp_frame(const Message& m) {
   return std::get_if<CbpFrame>(&m.header);
+}
+inline IoHeader* io_header(Message& m) {
+  return std::get_if<IoHeader>(&m.header);
+}
+inline const IoHeader* io_header(const Message& m) {
+  return std::get_if<IoHeader>(&m.header);
 }
 
 }  // namespace deep::net

@@ -77,6 +77,19 @@ void Process::wake() {
   if (state_ == State::Waiting) engine_.schedule_resume(*this);
 }
 
+void Process::request_kill() {
+  if (state_ == State::Finished) return;
+  DEEP_ASSERT(!engine_.parallel_run_ || engine_.cur_part().id == partition_,
+              "Process::request_kill: cross-partition kill during a parallel "
+              "run (deliver it through Engine::schedule_on)");
+  kill_requested_ = true;
+  // Reuse the wake path: a Waiting process gets a resume event at the
+  // current time and unwinds (yield_to_engine throws ProcessKilled) when it
+  // is dispatched; Sleeping/Runnable processes unwind at their already
+  // scheduled resume point; a Created process skips its body entirely.
+  wake();
+}
+
 // ---------------------------------------------------------------------------
 // Context
 // ---------------------------------------------------------------------------

@@ -163,6 +163,15 @@ class Process {
   /// through Engine::schedule_on().
   void wake();
 
+  /// Requests deterministic asynchronous termination: ProcessKilled unwinds
+  /// the fiber at its next resume point instead of running user code.  A
+  /// Waiting process is resumed (and unwinds) at the current virtual time; a
+  /// Sleeping one unwinds when its sleep expires; a Created one never enters
+  /// its body.  Used by the resiliency job layer to abort ranks stuck
+  /// waiting on dead peers before relaunching from a checkpoint.  Same
+  /// partition rules as wake(); no-op on a Finished process.
+  void request_kill();
+
   /// Free-form "what am I blocked on" annotation shown by the deadlock
   /// report.  Blocking layers (e.g. MPI wait) set it before suspending and
   /// clear it on resume; it costs nothing unless a process actually blocks.

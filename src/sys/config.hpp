@@ -4,12 +4,16 @@
 #include <array>
 
 #include "cbp/gateway.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hw/spec.hpp"
+#include "io/fs.hpp"
+#include "io/ionet.hpp"
 #include "mpi/system.hpp"
 #include "net/crossbar.hpp"
 #include "net/fault.hpp"
 #include "net/torus.hpp"
 #include "sim/time.hpp"
+#include "sys/resilient.hpp"
 
 namespace deep::sys {
 
@@ -46,6 +50,16 @@ struct SystemConfig {
   /// Fault injection (RAS testing): applied to both fabrics and the CBP
   /// gateways.  The all-defaults spec is inactive and installs nothing.
   net::FaultSpec faults;
+
+  /// Multi-level checkpointing (docs/resiliency.md).  Inactive by default;
+  /// when active, DeepSystem brings up the storage stack (io::IoNet over the
+  /// bridge, io::ParallelFs striped over the gateway nodes' NVM) and
+  /// launch_resilient() jobs checkpoint and restart through it.
+  ckpt::CkptParams ckpt;
+  io::IoParams io;
+  io::FsParams fs;
+  /// Restart orchestration knobs for launch_resilient().
+  ResilienceParams resilience;
 
   AllocPolicy alloc_policy = AllocPolicy::Dynamic;
   int static_partitions = 0;  // used with StaticPartition; 0 = cluster_nodes

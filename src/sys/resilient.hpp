@@ -1,0 +1,109 @@
+#pragma once
+// ResilientJob: run an MPI job to completion across failures.
+//
+// The controller fiber launches an attempt — a fresh MPI world plus one
+// fiber per rank — and watches it.  Rank bodies that die of an MpiError
+// (a peer's message was lost to chaos) or a ckpt::RestoreError unwind and
+// count as failed; ranks on a node that dies are aborted outright
+// (sim::Process::request_kill) via the fault plan's node-control hook.
+// Ranks left blocked on a dead peer make no progress, which a polling
+// watchdog detects and resolves by aborting the attempt.
+//
+// When an attempt fails, the controller waits for the dead nodes to heal,
+// asks the checkpoint manager for a restart plan (the newest version every
+// rank can still reach — ckpt::Store::plan_restart), installs it, and
+// relaunches: surviving and respawned ranks restore the same version, so
+// the job replays from a globally consistent cut.  All of it is ordinary
+// engine work — two runs of the same seeded chaos spec recover along
+// bit-identical paths, which tests/resiliency_test.cpp asserts.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "hw/node.hpp"
+#include "mpi/mpi.hpp"
+#include "mpi/system.hpp"
+#include "sim/engine.hpp"
+
+namespace deep::sys {
+
+struct ResilienceParams {
+  int max_attempts = 10;  // launch attempts before giving up
+  /// Watchdog poll period; progress (rank completions, checkpoint activity,
+  /// the optional traffic probe) is sampled once per quantum.
+  sim::Duration poll_quantum = sim::from_micros(200);
+  /// Quanta without progress before the watchdog aborts the attempt.
+  int stall_quanta = 12;
+  /// Grace delay before (re)launching an attempt once all nodes are up.
+  sim::Duration relaunch_delay = sim::from_micros(50);
+  /// Upper bound on waiting for dead rank nodes to heal before giving up
+  /// entirely (a safety net — chaos specs are expected to heal every node).
+  sim::Duration max_node_wait = sim::from_micros(50000);
+};
+
+struct ResilientOutcome {
+  bool completed = false;   // some attempt finished with every rank OK
+  int attempts = 0;         // attempts launched
+  int rank_failures = 0;    // rank bodies that failed or were aborted, total
+  int aborted_attempts = 0; // attempts the watchdog had to abort
+};
+
+class ResilientJob {
+ public:
+  /// `ckpt` is the per-rank checkpoint handle, or nullptr when the job runs
+  /// without checkpointing (failed attempts then restart from scratch).
+  using RankBody = std::function<void(mpi::Mpi&, ckpt::Checkpointer*)>;
+
+  /// `rank_nodes[r]` hosts rank r.  `manager` may be null (no checkpointing).
+  ResilientJob(sim::Engine& engine, mpi::MpiSystem& mpi,
+               std::vector<hw::Node*> rank_nodes, ckpt::Manager* manager,
+               ResilienceParams params, RankBody body);
+  ResilientJob(const ResilientJob&) = delete;
+  ResilientJob& operator=(const ResilientJob&) = delete;
+
+  /// Extra monotone progress source for the watchdog (e.g. fabric message
+  /// counts): any traffic then counts as progress, so long fault-free
+  /// stretches without checkpoints cannot be mistaken for a stall.  Set
+  /// before start().
+  void set_progress_probe(std::function<std::int64_t()> probe) {
+    probe_ = std::move(probe);
+  }
+
+  /// Spawns the controller fiber; the job runs as part of engine.run().
+  void start();
+
+  /// Node death/heal hook — wire into net::FaultPlan::set_node_control
+  /// (after the checkpoint manager's own hook, so copies are invalidated
+  /// before ranks are torn down).  Aborts the current attempt's rank fibers
+  /// on a dead node.
+  void on_node_event(hw::NodeId node, bool up);
+
+  bool done() const { return done_; }
+  const ResilientOutcome& outcome() const { return outcome_; }
+  int nranks() const { return static_cast<int>(rank_nodes_.size()); }
+
+ private:
+  void controller(sim::Context& ctx);
+  void launch_attempt(int attempt);
+  int finished_ranks() const;
+  std::int64_t progress() const;
+  void abort_attempt();
+
+  sim::Engine* engine_;
+  mpi::MpiSystem* mpi_;
+  std::vector<hw::Node*> rank_nodes_;
+  ckpt::Manager* manager_;
+  ResilienceParams params_;
+  RankBody body_;
+  std::function<std::int64_t()> probe_;
+  std::vector<sim::Process*> procs_;  // current attempt's rank fibers
+  std::vector<char> succeeded_;       // per rank, current attempt
+  bool started_ = false;
+  bool done_ = false;
+  ResilientOutcome outcome_;
+};
+
+}  // namespace deep::sys

@@ -133,6 +133,31 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     net::install_pair_lookahead(engine_, {ib_.get(), extoll_.get()});
   }
 
+  if (config_.ckpt.active()) {
+    // Storage stack for multi-level checkpointing: IoNet over the bridged
+    // transport (Io messages cross gateways like MPI traffic), served by
+    // the nodes' NVM devices; the parallel FS stripes over the gateway/BI
+    // nodes, whose large NVM is the machine's durable storage tier.
+    DEEP_EXPECT(config_.partitions == 1,
+                "DeepSystem: checkpointing requires partitions == 1 (restart "
+                "orchestration mutates state shared across ranks)");
+    ionet_ = std::make_unique<io::IoNet>(engine_, *bridge_, config_.io);
+    io::install_nvm_service(*ionet_, [this](hw::NodeId id) {
+      return id >= 0 && id < static_cast<hw::NodeId>(nodes_.size())
+                 ? nodes_[static_cast<std::size_t>(id)].get()
+                 : nullptr;
+    });
+    for (hw::NodeId id : cluster_ids_) ionet_->attach(ib_->nic(id));
+    for (hw::NodeId id : booster_ids_) ionet_->attach(extoll_->nic(id));
+    for (hw::NodeId id : gateway_ids_) {
+      // Gateways sit on both fabrics; booster-side requests arrive on the
+      // EXTOLL NIC, cluster-side ones on the InfiniBand NIC.
+      ionet_->attach(ib_->nic(id));
+      ionet_->attach(extoll_->nic(id));
+    }
+    fs_ = std::make_unique<io::ParallelFs>(*ionet_, gateway_ids_, config_.fs);
+  }
+
   const int rm_partitions =
       config_.alloc_policy == AllocPolicy::StaticPartition
           ? (config_.static_partitions > 0 ? config_.static_partitions
@@ -151,6 +176,14 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     fault_plan_->attach(*extoll_);
     fault_plan_->set_gateway_control([this](hw::NodeId gw, bool up) {
       bridge_->set_gateway_up(gw, up);
+    });
+    fault_plan_->set_node_control([this](hw::NodeId node, bool up) {
+      // Copies die before fibers: each manager invalidates what the node
+      // held, then the job aborts the rank fibers running on it.
+      for (ResilientEntry& entry : resilient_) {
+        if (entry.manager) entry.manager->on_node_event(node, up);
+        entry.job->on_node_event(node, up);
+      }
     });
     fault_plan_->arm();
   }
@@ -289,6 +322,46 @@ JobHandle DeepSystem::launch(const std::string& name, int nprocs,
   return handle;
 }
 
+ResilientJob& DeepSystem::launch_resilient(const std::string& name, int nprocs,
+                                           std::vector<std::string> args) {
+  DEEP_EXPECT(nprocs >= 1, "launch_resilient: need at least one process");
+  DEEP_EXPECT(programs_.contains(name),
+              "launch_resilient: program not registered");
+
+  std::vector<hw::Node*> rank_nodes;
+  rank_nodes.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    const hw::NodeId id =
+        cluster_ids_[static_cast<std::size_t>((next_cluster_rr_ + i) %
+                                              config_.cluster_nodes)];
+    rank_nodes.push_back(nodes_[static_cast<std::size_t>(id)].get());
+  }
+  next_cluster_rr_ = (next_cluster_rr_ + nprocs) % config_.cluster_nodes;
+
+  ResilientEntry entry;
+  if (config_.ckpt.active()) {
+    entry.manager = std::make_unique<ckpt::Manager>(
+        engine_, config_.ckpt, rank_nodes, ionet_.get(), fs_.get());
+  }
+  const Program& program = programs_.get(name);
+  entry.job = std::make_unique<ResilientJob>(
+      engine_, *mpi_, rank_nodes, entry.manager.get(), config_.resilience,
+      [this, &program, args = std::move(args)](mpi::Mpi& mpi,
+                                               ckpt::Checkpointer* ck) {
+        ProgramEnv env{mpi, args, this, ck};
+        program(env);
+      });
+  // Any fabric traffic counts as watchdog progress: long checkpoint-free
+  // stretches of a healthy job cannot be mistaken for a stall.
+  entry.job->set_progress_probe([this] {
+    return ib_->stats().messages + extoll_->stats().messages;
+  });
+  resilient_.push_back(std::move(entry));
+  ResilientJob& job = *resilient_.back().job;
+  job.start();
+  return job;
+}
+
 mpi::SpawnResult DeepSystem::spawn_children(const mpi::SpawnRequest& request) {
   DEEP_EXPECT(programs_.contains(request.command),
               "comm_spawn: program '" + request.command + "' not registered");
@@ -386,6 +459,8 @@ EnergyReport DeepSystem::energy() const {
         break;
     }
     report.total_flops += node->meter().flops_done();
+    if (const hw::NvmDevice* nvm = node->nvm())
+      report.nvm_joules += nvm->active_joules();
   }
   return report;
 }

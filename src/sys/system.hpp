@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "cbp/gateway.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "hw/node.hpp"
+#include "io/fs.hpp"
+#include "io/ionet.hpp"
 #include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
 #include "net/fault.hpp"
@@ -22,6 +25,7 @@
 #include "ompss/offload.hpp"
 #include "sim/engine.hpp"
 #include "sys/config.hpp"
+#include "sys/resilient.hpp"
 #include "sys/resource_manager.hpp"
 
 namespace deep::sys {
@@ -33,6 +37,9 @@ struct ProgramEnv {
   mpi::Mpi& mpi;
   std::vector<std::string> args;
   DeepSystem* system = nullptr;
+  /// This rank's checkpoint handle when the job was started through
+  /// launch_resilient() on a checkpointing system; nullptr otherwise.
+  ckpt::Checkpointer* ckpt = nullptr;
 };
 
 using Program = std::function<void(ProgramEnv&)>;
@@ -72,9 +79,10 @@ struct EnergyReport {
   double cluster_joules = 0;
   double booster_joules = 0;
   double gateway_joules = 0;
+  double nvm_joules = 0;  // active draw of every NVM device (all classes)
   double total_flops = 0;
   double total_joules() const {
-    return cluster_joules + booster_joules + gateway_joules;
+    return cluster_joules + booster_joules + gateway_joules + nvm_joules;
   }
   double gflops_per_watt() const {
     const double j = total_joules();
@@ -102,6 +110,9 @@ class DeepSystem {
   net::FaultPlan* fault_plan() { return fault_plan_.get(); }
   /// The metrics registry, or nullptr when config().metrics is disabled.
   obs::Registry* metrics() { return metrics_.get(); }
+  /// The storage stack, or nullptr when config().ckpt is inactive.
+  io::IoNet* ionet() { return ionet_.get(); }
+  io::ParallelFs* fs() { return fs_.get(); }
 
   hw::Node& cluster_node(int i);
   hw::Node& booster_node(int i);
@@ -117,6 +128,15 @@ class DeepSystem {
   /// simulation time; run() drives it to completion.
   JobHandle launch(const std::string& name, int nprocs,
                    std::vector<std::string> args = {});
+
+  /// Starts `nprocs` instances of `name` on the cluster under restart
+  /// orchestration: rank failures (chaos, node deaths) roll the job back to
+  /// its last consistent checkpoint and relaunch (docs/resiliency.md).  On
+  /// a checkpointing system (config().ckpt.active()) each job gets its own
+  /// ckpt::Manager and ranks see ProgramEnv::ckpt.  The returned reference
+  /// lives as long as the system.
+  ResilientJob& launch_resilient(const std::string& name, int nprocs,
+                                 std::vector<std::string> args = {});
 
   /// Runs the simulation until all events are drained.
   void run() { engine_.run(); }
@@ -147,8 +167,17 @@ class DeepSystem {
   std::unique_ptr<net::TorusFabric> extoll_;
   std::unique_ptr<cbp::BridgedTransport> bridge_;
   std::unique_ptr<mpi::MpiSystem> mpi_;
+  std::unique_ptr<io::IoNet> ionet_;
+  std::unique_ptr<io::ParallelFs> fs_;
   std::unique_ptr<net::FaultPlan> fault_plan_;
   std::unique_ptr<ResourceManager> rm_;
+  /// One manager + job per launch_resilient() call; the fault plan's
+  /// node-control hook fans out to every entry.
+  struct ResilientEntry {
+    std::unique_ptr<ckpt::Manager> manager;
+    std::unique_ptr<ResilientJob> job;
+  };
+  std::vector<ResilientEntry> resilient_;
   ProgramRegistry programs_;
   ompss::KernelRegistry kernels_;
   int next_cluster_rr_ = 0;

@@ -490,3 +490,91 @@ TEST(FatTree, InvalidParamsRejected) {
   EXPECT_THROW(dn::FatTreeFabric(eng, "bad", ft(4, 5)), deep::util::UsageError);
   EXPECT_THROW(dn::FatTreeFabric(eng, "bad", ft(4, 0)), deep::util::UsageError);
 }
+
+TEST(FatTree, UnpartitionedLookaheadBounds) {
+  ds::Engine eng;
+  dn::FatTreeFabric t(eng, "ft", ft(4, 4));
+  for (int n = 0; n < 8; ++n) t.attach(n);
+  const auto p = t.params();
+  // Uniform bound: the cheapest event a send can place elsewhere is one
+  // adapter plus a single switch hop (the same-leaf path).
+  EXPECT_EQ(t.lookahead().ps, (p.adapter_latency + p.switch_latency).ps);
+  // Without partition assignments the per-pair contract degenerates to the
+  // base fabric's: no cross-partition scheduling exists to protect.
+  EXPECT_EQ(t.lookahead(0, 1).ps, ds::kUnconstrainedLookahead.ps);
+  EXPECT_EQ(t.lookahead(0, 0).ps, ds::kUnconstrainedLookahead.ps);
+}
+
+TEST(FatTree, PairLookaheadTracksLeafDistance) {
+  ds::Engine eng;
+  eng.set_partitions(3);
+  dn::FatTreeFabric t(eng, "ft", ft(4, 4));
+  for (int n = 0; n < 8; ++n) t.attach(n);
+  // Leaf 0 hosts partitions 0 and 1; leaf 1 is wholly partition 2.
+  t.set_node_partition(0, 0);
+  t.set_node_partition(1, 0);
+  t.set_node_partition(2, 1);
+  t.set_node_partition(3, 1);
+  for (int n = 4; n < 8; ++n) t.set_node_partition(n, 2);
+  const auto p = t.params();
+  const auto one_switch = p.adapter_latency + p.switch_latency;
+  const auto spine = p.adapter_latency + p.switch_latency * 3;
+  // Partitions co-located on a leaf can reach each other in one switch hop.
+  EXPECT_EQ(t.lookahead(0, 1).ps, one_switch.ps);
+  EXPECT_EQ(t.lookahead(1, 0).ps, one_switch.ps);
+  // Separated partitions pay the full three-switch spine crossing.
+  EXPECT_EQ(t.lookahead(0, 2).ps, spine.ps);
+  EXPECT_EQ(t.lookahead(2, 1).ps, spine.ps);
+  // Intra-partition events need no bound at all.
+  EXPECT_EQ(t.lookahead(2, 2).ps, ds::kUnconstrainedLookahead.ps);
+  // Every finite pair bound is at least the uniform (conservative) bound.
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if (a != b) {
+        EXPECT_GE(t.lookahead(a, b).ps, t.lookahead().ps);
+      }
+    }
+  }
+}
+
+TEST(FatTree, NicFailureDropsTrafficUntilHealed) {
+  ds::Engine eng;
+  dn::FatTreeFabric t(eng, "ft", ft(4, 4));
+  int arrived = 0;
+  for (int n = 0; n < 8; ++n)
+    t.attach(n).bind(dn::Port::Raw, [&](dn::Message&&) { ++arrived; });
+  t.set_link_up(0, 0, false);  // self-link: node 0's NIC fails
+  EXPECT_EQ(t.links_down(), 1u);
+  EXPECT_FALSE(t.link_up(0, 0));
+  t.send(mk(0, 4, 64), dn::Service::Small);  // dead source
+  t.send(mk(4, 0, 64), dn::Service::Small);  // dead destination
+  t.send(mk(1, 5, 64), dn::Service::Small);  // unrelated pair still flows
+  eng.run();
+  EXPECT_EQ(arrived, 1);
+  EXPECT_EQ(t.stats().messages_dropped, 2);
+  t.set_link_up(0, 0, true);
+  EXPECT_EQ(t.links_down(), 0u);
+  t.send(mk(0, 4, 64), dn::Service::Small);
+  eng.run();
+  EXPECT_EQ(arrived, 2);
+  EXPECT_EQ(t.stats().messages_dropped, 2);  // heal: no further drops
+}
+
+TEST(FatTree, PairLinkFailureLeavesOtherRoutesUp) {
+  ds::Engine eng;
+  dn::FatTreeFabric t(eng, "ft", ft(4, 4));
+  int arrived = 0;
+  for (int n = 0; n < 8; ++n)
+    t.attach(n).bind(dn::Port::Raw, [&](dn::Message&&) { ++arrived; });
+  t.set_link_up(0, 4, false);
+  // The pair is unordered: both directions are cut together.
+  EXPECT_FALSE(t.link_up(4, 0));
+  EXPECT_TRUE(t.link_up(0, 5));
+  t.send(mk(0, 4, 64), dn::Service::Small);  // cut pair, either direction
+  t.send(mk(4, 0, 64), dn::Service::Small);
+  t.send(mk(0, 5, 64), dn::Service::Small);  // same source, other target
+  t.send(mk(1, 4, 64), dn::Service::Small);  // other source, same target
+  eng.run();
+  EXPECT_EQ(arrived, 2);
+  EXPECT_EQ(t.stats().messages_dropped, 2);
+}
