@@ -1,5 +1,6 @@
 #include "sys/system.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -49,6 +50,10 @@ std::array<int, 3> derive_torus_dims(int n) {
   return {x, y, z};
 }
 
+int auto_workers(int host_cpus, int partitions) {
+  return std::max(1, std::min(host_cpus, partitions));
+}
+
 DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   DEEP_EXPECT(config_.cluster_nodes >= 1, "DeepSystem: need cluster nodes");
   DEEP_EXPECT(config_.booster_nodes >= 1, "DeepSystem: need booster nodes");
@@ -69,8 +74,12 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
                 "on every send and requires partitions == 1; use ByPair or "
                 "Pinned");
   }
+  DEEP_EXPECT(config_.speculation >= 0 ||
+                  config_.speculation == sim::Engine::kAutoSpeculation,
+              "DeepSystem: speculation must be >= 0 or kAutoSpeculation");
   engine_.set_partitions(static_cast<std::uint32_t>(config_.partitions));
   engine_.set_workers(static_cast<std::uint32_t>(config_.workers));
+  engine_.set_speculation(config_.speculation);
 
   if (config_.metrics.enabled) {
     // Attach before any layer exists: fabrics, bridge, MPI and the engine

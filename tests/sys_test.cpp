@@ -45,6 +45,16 @@ TEST(System, DeriveTorusDims) {
   EXPECT_GE(d[0] * d[1] * d[2], 100);
 }
 
+TEST(System, AutoWorkersClampsToHostAndPartitions) {
+  // `--workers auto`: one worker per host core, never more than there are
+  // partitions, always at least one (0 = hardware_concurrency unknown).
+  EXPECT_EQ(dsy::auto_workers(8, 5), 5);
+  EXPECT_EQ(dsy::auto_workers(2, 5), 2);
+  EXPECT_EQ(dsy::auto_workers(4, 4), 4);
+  EXPECT_EQ(dsy::auto_workers(0, 5), 1);
+  EXPECT_EQ(dsy::auto_workers(16, 1), 1);
+}
+
 TEST(System, LaunchRunsClusterJob) {
   dsy::DeepSystem sys(small_config());
   int sum = -1;
@@ -414,6 +424,11 @@ TEST(Report, ContainsAllSections) {
   EXPECT_NE(report.find("bi0"), std::string::npos);
   EXPECT_NE(report.find("dynamic pool"), std::string::npos);
   EXPECT_NE(report.find("GFlop"), std::string::npos);
+  // The engine line reports the chosen worker count (the `--workers auto`
+  // resolution is visible here) and the speculation setting.
+  EXPECT_NE(report.find("1 partition(s), 1 worker(s), speculation off"),
+            std::string::npos)
+      << report;
 }
 
 TEST(Report, AcceleratedVariant) {

@@ -11,11 +11,17 @@
 //     --procs N            HSCP width (booster ranks)     (default 4)
 //     --steps N            coupling steps / iterations    (default 3)
 //     --static-partitions  use static booster partitioning
-//     --workers N          engine worker threads          (default 1)
+//     --workers N|auto     engine worker threads; `auto` uses one per
+//                          host core, clamped to the partition count
+//                                                        (default 1)
 //     --partitions N|auto  engine partitions: the booster torus splits
 //                          into N-1 topology blocks, the cluster side
 //                          stays on partition 0; `auto` derives N from
 //                          the host's core count        (default 1)
+//     --speculate K|auto|off  bounded-optimism speculation: workers run
+//                          up to K replayable events past the horizon,
+//                          rolled back if validation fails; `auto`
+//                          adapts K to the rollback rate  (default off)
 //     --wallclock-metrics  record per-worker barrier-wait histograms
 //                          (wall clock, hence non-deterministic)
 //     --trace FILE         write a Chrome/Perfetto trace
@@ -62,8 +68,9 @@ struct Options {
   std::string workload = "stencil";
   int procs = 4;
   int steps = 3;
-  int workers = 1;
+  std::string workers = "1";     // integer or "auto"
   std::string partitions = "1";  // integer or "auto"
+  std::string speculate = "off";  // integer, "auto" or "off"
   bool wallclock_metrics = false;
   bool static_partitions = false;
   std::string trace_file;
@@ -77,8 +84,8 @@ void usage() {
       "deepsim — simulated DEEP cluster-booster machine\n"
       "  --cluster N   --booster N   --gateways N\n"
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
-      "  --static-partitions   --workers N   --partitions N|auto\n"
-      "  --wallclock-metrics   --trace FILE   --report\n"
+      "  --static-partitions   --workers N|auto   --partitions N|auto\n"
+      "  --speculate K|auto|off   --wallclock-metrics   --trace FILE   --report\n"
       "  --metrics-out FILE (.json|.csv)   --metrics-interval US   --help");
 }
 
@@ -105,9 +112,11 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--steps") {
       opt.steps = std::atoi(next());
     } else if (arg == "--workers") {
-      opt.workers = std::atoi(next());
+      opt.workers = next();
     } else if (arg == "--partitions") {
       opt.partitions = next();
+    } else if (arg == "--speculate") {
+      opt.speculate = next();
     } else if (arg == "--wallclock-metrics") {
       opt.wallclock_metrics = true;
     } else if (arg == "--workload") {
@@ -277,11 +286,6 @@ int main(int argc, char** argv) {
   config.gateways = opt.gateways;
   config.metrics.enabled =
       !opt.metrics_file.empty() || opt.metrics_interval_us > 0;
-  if (opt.workers < 1) {
-    std::fprintf(stderr, "--workers must be >= 1\n");
-    return 2;
-  }
-  config.workers = opt.workers;
   if (opt.partitions == "auto") {
     // One partition per available core (the booster blocks parallelise;
     // partition 0 carries the cluster side), capped so tiny machines do not
@@ -295,6 +299,31 @@ int main(int argc, char** argv) {
     config.partitions = std::atoi(opt.partitions.c_str());
     if (config.partitions < 1) {
       std::fprintf(stderr, "--partitions must be >= 1 or 'auto'\n");
+      return 2;
+    }
+  }
+  if (opt.workers == "auto") {
+    // One worker per host core, clamped to the partition count — extra
+    // workers would only park at the window barriers.
+    const int host = static_cast<int>(std::thread::hardware_concurrency());
+    config.workers = dsy::auto_workers(host, config.partitions);
+    std::printf("auto workers: %d (host cpus %d, %d partitions)\n",
+                config.workers, host, config.partitions);
+  } else {
+    config.workers = std::atoi(opt.workers.c_str());
+    if (config.workers < 1) {
+      std::fprintf(stderr, "--workers must be >= 1 or 'auto'\n");
+      return 2;
+    }
+  }
+  if (opt.speculate == "off") {
+    config.speculation = 0;
+  } else if (opt.speculate == "auto") {
+    config.speculation = ds::Engine::kAutoSpeculation;
+  } else {
+    config.speculation = std::atoi(opt.speculate.c_str());
+    if (config.speculation < 1) {
+      std::fprintf(stderr, "--speculate must be >= 1, 'auto' or 'off'\n");
       return 2;
     }
   }
