@@ -1,0 +1,52 @@
+// Repro: speculative tail commits after one arrival-free plan step, then a
+// later window emits a cross-partition event below the committed frontier.
+#include <cstdio>
+#include <exception>
+
+#include "sim/engine.hpp"
+
+namespace ds = deep::sim;
+
+int run_once(int spec) {
+  ds::Engine engine;
+  engine.set_partitions(2);
+  engine.set_workers(2);
+  engine.set_lookahead(ds::Duration{1});
+  engine.set_speculation(spec);
+
+  int a_events = 0;
+  int b_events = 0;
+  long long last_a_time = -1;
+
+  // Partition 0: replayable chain at t=10, 20, 30.
+  for (long long t : {10, 20, 30}) {
+    engine.schedule_replayable_on(0, ds::TimePoint{t}, [&, t] {
+      ++a_events;
+      last_a_time = t;
+    });
+  }
+  // Partition 1: t=10 keeps B runnable in window 1 (so the window is not
+  // solo and A's tail can speculate); t=15 sends to A at t=16.
+  engine.schedule_on(1, ds::TimePoint{10}, [&] { ++b_events; });
+  engine.schedule_on(1, ds::TimePoint{15}, [&] {
+    ++b_events;
+    engine.schedule_on(0, ds::TimePoint{16}, [&] { ++a_events; });
+  });
+
+  try {
+    engine.run();
+  } catch (const std::exception& e) {
+    std::printf("spec=%d  THREW: %s\n", spec, e.what());
+    return 1;
+  }
+  std::printf("spec=%d  a_events=%d b_events=%d now=%lld\n", spec, a_events,
+              b_events, (long long)engine.now().ps);
+  return 0;
+}
+
+int main() {
+  int rc = 0;
+  rc |= run_once(0);
+  rc |= run_once(8);
+  return rc;
+}
