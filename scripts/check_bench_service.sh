@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI gate for the simulation service (docs/service.md).
+#
+# Compares a fresh bench_service measurement against the checked-in
+# baseline (results/BENCH_service.json).  Unlike the parallel-engine
+# speedup gates, EVERYTHING here is host-independent, so nothing is ever
+# waived:
+#
+#   * fingerprints_equal — the probe job's result obtained solo, as a cache
+#     miss and as a cache hit must be byte-identical (the determinism
+#     dividend is only safe to bank if hits are indistinguishable from
+#     fresh simulations);
+#   * fingerprint — the FNV-1a hash of that fingerprint must match the
+#     baseline: simulations are pure virtual-time, so a hash that moved
+#     means the simulation's observable behaviour changed and the baseline
+#     must be regenerated deliberately (scripts/run_bench_service.sh);
+#   * hot_over_cold — serving a repeated job from the cache must be at
+#     least `hot_floor` (default 10) times faster than simulating fresh.
+#
+# On a passing run the check appends a dated entry to the baseline's
+# "history" array, accumulating a measurement log across PRs.
+#
+# Usage: scripts/check_bench_service.sh [measured.json] [baseline.json]
+#   defaults: results/BENCH_service_ci.json, results/BENCH_service.json
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MEASURED="${1:-$ROOT/results/BENCH_service_ci.json}"
+BASELINE="${2:-$ROOT/results/BENCH_service.json}"
+
+if [ ! -f "$MEASURED" ]; then
+  echo "check_bench_service: no measurement at $MEASURED" >&2
+  echo "check_bench_service: run scripts/run_bench_service.sh first" >&2
+  exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "check_bench_service: no baseline at $BASELINE" >&2
+  exit 1
+fi
+
+python3 - "$MEASURED" "$BASELINE" <<'EOF'
+import datetime
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    measured = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+
+hot_floor = baseline.get("gates", {}).get("hot_floor", 10.0)
+base_fp = baseline.get("fingerprint")
+hot_over_cold = measured.get("hot_over_cold")
+fp = measured.get("fingerprint")
+fp_equal = measured.get("fingerprints_equal", False)
+
+print(f"check_bench_service: host_cpus={measured.get('host_cpus')} "
+      f"workers={measured.get('workers')} smoke={measured.get('smoke')}")
+for s in measured.get("scenarios", []):
+    print(f"  {s['name']:<6} {s['jobs']:>5} jobs  "
+          f"{s['jobs_per_s']:>10.1f} jobs/s  p99 {s['p99_ms']:.2f} ms  "
+          f"hits {s['cache_hits']} misses {s['cache_misses']}")
+print(f"  hot/cold ratio: {hot_over_cold:.1f}x (floor {hot_floor})")
+print(f"  fingerprint: measured {fp} baseline {base_fp}")
+
+if not fp_equal:
+    print("FAIL: probe fingerprints diverged between solo run, cache miss "
+          "and cache hit — the cache is returning results that differ from "
+          "fresh simulations")
+    sys.exit(1)
+
+if base_fp is None or fp != base_fp:
+    print("FAIL: probe fingerprint hash does not match the baseline — the "
+          "simulation's observable behaviour changed; if intended, "
+          "regenerate results/BENCH_service.json with "
+          "scripts/run_bench_service.sh and commit it")
+    sys.exit(1)
+
+if hot_over_cold is None or hot_over_cold < hot_floor:
+    print(f"FAIL: hot/cold throughput ratio {hot_over_cold} < "
+          f"floor {hot_floor} — the determinism dividend is not being paid")
+    sys.exit(1)
+
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "status": "pass",
+    "host_cpus": measured.get("host_cpus"),
+    "smoke": measured.get("smoke"),
+    "hot_over_cold": hot_over_cold,
+    "fingerprint": fp,
+}
+baseline.setdefault("history", []).append(entry)
+with open(sys.argv[2], "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(f"history: appended {entry['date']} entry to {sys.argv[2]}")
+print(f"PASS: hot/cold {hot_over_cold:.1f}x >= {hot_floor}; "
+      f"fingerprint stable at {fp}")
+EOF

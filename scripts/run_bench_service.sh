@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the service-throughput bench (cold sweep / hot repeats / mixed) and
+# records results/BENCH_service.json.  The interesting numbers — the
+# hot/cold throughput ratio and the probe-job fingerprint hash — are
+# host-independent: cache hits skip simulation entirely, and fingerprints
+# are pure functions of virtual time.  scripts/check_bench_service.sh gates
+# them against the checked-in baseline.
+#
+# Usage: scripts/run_bench_service.sh [build-dir] [output.json]
+#   defaults: build, results/BENCH_service.json
+#   BENCH_ARGS="--smoke" for the fast CI variant.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/results/BENCH_service.json}"
+
+if [ ! -x "$BUILD/bench/bench_service" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j "$(nproc)" --target bench_service
+fi
+
+mkdir -p "$(dirname "$OUT")"
+"$BUILD/bench/bench_service" --json "$OUT" ${BENCH_ARGS:-}
+echo "host_cpus: $(nproc)"
+echo "wrote $OUT"

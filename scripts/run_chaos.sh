@@ -10,8 +10,10 @@
 # cross-partition teardown/wake edge cases — label: parallel) and the
 # resiliency suite (multi-level checkpoint/restart: 32-seed kill schedules
 # that must complete bit-identically, NVM/FS/buddy unit tests — label:
-# resiliency) ride along so the pooled hot path, the observability layer,
-# the threaded engine and the recovery path are sanitised too.
+# resiliency) and the service suite (multi-tenant session isolation,
+# result-cache identity, chaos-job containment — label: service) ride along
+# so the pooled hot path, the observability layer, the threaded engine, the
+# recovery path and the daemon are sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -23,17 +25,17 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos/netperf/obs/metrics/parallel/resiliency tests in $BUILD =="
+echo "== building chaos/netperf/obs/metrics/parallel/resiliency/service tests in $BUILD =="
 cmake --build "$BUILD" \
   --target chaos_test netperf_test obs_test metrics_test parallel_test \
-  resiliency_test \
+  resiliency_test service_test \
   -j "$(nproc)"
 
 # Guard against silently-empty suites: a typo'd or unregistered label would
 # otherwise make `ctest -L` select nothing and "pass".  Every expected label
 # must match at least one test.
 echo "== verifying suite labels are populated =="
-for label in chaos perf metrics parallel resiliency; do
+for label in chaos perf metrics parallel resiliency service; do
   count=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null |
     sed -n 's/^Total Tests: *//p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
@@ -43,7 +45,7 @@ for label in chaos perf metrics parallel resiliency; do
   echo "   label '$label': $count test(s)"
 done
 
-echo "== running chaos + perf + metrics + parallel + resiliency suites =="
-ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel|resiliency' \
+echo "== running chaos + perf + metrics + parallel + resiliency + service suites =="
+ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel|resiliency|service' \
   -E bench_fabric_smoke --output-on-failure "$@"
 echo "chaos suite passed: sweeps replayed bit-identically (traces and metric snapshots)"

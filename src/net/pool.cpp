@@ -13,17 +13,22 @@ namespace deep::net {
 // already-destroyed instance.  LeakSanitizer treats memory reachable from a
 // static as "still reachable", not a leak.
 //
-// One pool per execution lane.  The lane discipline (one thread drives a
-// lane at a time — util/lane.hpp) makes each pool's free list effectively
-// single-threaded; the CAS below only guards first-use creation so that even
-// a caller violating the discipline cannot corrupt the slot table.
+// One pool per (session, lane) shard.  The lane discipline (one thread
+// drives a lane at a time — util/lane.hpp) makes each pool's free list
+// effectively single-threaded within a session, and distinct sessions
+// resolve to disjoint shards, so concurrent in-process simulations never
+// share a free list (docs/service.md).  The CAS below only guards first-use
+// creation so that even a caller violating the discipline cannot corrupt
+// the slot table.
 
 namespace {
 
 template <typename PoolT>
 PoolT& lane_pool() {
-  static std::array<std::atomic<PoolT*>, util::kMaxLanes> slots{};
-  std::atomic<PoolT*>& slot = slots[util::exec_lane()];
+  static std::array<std::atomic<PoolT*>,
+                    util::kMaxSessions * util::kMaxLanes>
+      slots{};
+  std::atomic<PoolT*>& slot = slots[util::pool_shard()];
   PoolT* pool = slot.load(std::memory_order_acquire);
   if (pool == nullptr) {
     auto* fresh = new PoolT();

@@ -1,12 +1,16 @@
 #pragma once
 // Slab-style pooling for the per-message hot path (docs/perf.md).
 //
-// Three cooperating pieces, all free-list based and all per-execution-lane
-// (util/lane.hpp).  A serial simulation runs entirely on lane 0 and sees the
-// exact historical single-pool behaviour; under the parallel engine each
-// partition executes on its own lane, `instance()` resolves to that lane's
-// pool, and free-list operations stay lock-free because a lane is only ever
-// driven by one thread at a time (docs/parallel_engine.md).  The only shared
+// Three cooperating pieces, all free-list based and all sharded per
+// (session, lane) — util/lane.hpp.  A serial simulation runs entirely on
+// session 0 / lane 0 and sees the exact historical single-pool behaviour;
+// under the parallel engine each partition executes on its own lane,
+// `instance()` resolves to that lane's pool, and free-list operations stay
+// lock-free because a lane is only ever driven by one thread at a time
+// (docs/parallel_engine.md).  Concurrent in-process simulations (the
+// multi-tenant service, docs/service.md) each claim a session slot, so
+// their pools never alias even though every session's threads default to
+// lane 0.  The only shared
 // mutable state is the payload refcount, which is atomic so a payload handed
 // across partitions can be retained/released from its new home lane; the
 // freed node simply joins the releasing lane's free list (nodes are never
@@ -243,17 +247,20 @@ class PoolAllocator {
 
  private:
   static std::vector<void*>& free_list() {
-    // One list per execution lane, reachable forever through a static slot
-    // table (same pattern as BufferPool/MessagePool in pool.cpp): parked
-    // blocks must stay reachable at exit or leak checkers would (rightly)
-    // report them as lost.  thread_local storage would not do — a worker
-    // thread's exit drops its TLS pointer and strands the parked blocks.
-    // The lane discipline (one thread drives a lane at a time) keeps each
-    // list single-threaded; a block freed on a different lane than it was
-    // allocated on is type-erased raw storage, so adoption is harmless.
-    static std::array<std::atomic<std::vector<void*>*>, util::kMaxLanes>
+    // One list per (session, lane) shard, reachable forever through a
+    // static slot table (same pattern as BufferPool/MessagePool in
+    // pool.cpp): parked blocks must stay reachable at exit or leak checkers
+    // would (rightly) report them as lost.  thread_local storage would not
+    // do — a worker thread's exit drops its TLS pointer and strands the
+    // parked blocks.  The lane discipline (one thread drives a lane at a
+    // time) keeps each list single-threaded, and session sharding keeps
+    // concurrent in-process simulations off each other's lists; a block
+    // freed on a different shard than it was allocated on is type-erased
+    // raw storage, so adoption is harmless.
+    static std::array<std::atomic<std::vector<void*>*>,
+                      util::kMaxSessions * util::kMaxLanes>
         slots{};
-    std::atomic<std::vector<void*>*>& slot = slots[util::exec_lane()];
+    std::atomic<std::vector<void*>*>& slot = slots[util::pool_shard()];
     std::vector<void*>* fl = slot.load(std::memory_order_acquire);
     if (fl == nullptr) {
       auto* fresh = new std::vector<void*>();

@@ -220,7 +220,14 @@ bool Engine::run_windowed(TimePoint limit, bool bounded) {
   };
   std::vector<std::thread> threads;
   threads.reserve(W > 0 ? W - 1 : 0);
-  for (std::uint32_t w = 1; w < W; ++w) threads.emplace_back(worker_loop, w);
+  // Workers inherit the launching thread's session so every pool operation
+  // inside the run resolves to this engine's session shard (util/lane.hpp).
+  const std::uint32_t session = util::exec_session();
+  for (std::uint32_t w = 1; w < W; ++w)
+    threads.emplace_back([&worker_loop, session, w] {
+      util::SessionGuard in_session(session);
+      worker_loop(w);
+    });
 
   auto sat_add = [](std::int64_t a, std::int64_t b) {
     return a > INT64_MAX - b ? INT64_MAX : a + b;

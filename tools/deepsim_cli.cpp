@@ -39,6 +39,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <thread>
 
@@ -49,6 +50,7 @@
 #include "obs/metrics.hpp"
 #include "ompss/offload.hpp"
 #include "sim/trace.hpp"
+#include "svc/service.hpp"
 #include "sys/report.hpp"
 #include "sys/system.hpp"
 #include "util/csv.hpp"
@@ -77,6 +79,7 @@ struct Options {
   bool report = false;
   std::string metrics_file;
   long metrics_interval_us = 0;  // 0 = final snapshot only
+  bool serve = false;            // line-delimited JSON service loop
 };
 
 void usage() {
@@ -86,7 +89,9 @@ void usage() {
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
       "  --static-partitions   --workers N|auto   --partitions N|auto\n"
       "  --speculate K|auto|off   --wallclock-metrics   --trace FILE   --report\n"
-      "  --metrics-out FILE (.json|.csv)   --metrics-interval US   --help");
+      "  --metrics-out FILE (.json|.csv)   --metrics-interval US\n"
+      "  --serve (line-delimited JSON service on stdin/stdout; deepsimd is\n"
+      "           the full daemon)   --help");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -97,7 +102,9 @@ bool parse(int argc, char** argv, Options& opt) {
       return argv[++i];
     };
     if (arg == "--help") return false;
-    if (arg == "--report") {
+    if (arg == "--serve") {
+      opt.serve = true;
+    } else if (arg == "--report") {
       opt.report = true;
     } else if (arg == "--static-partitions") {
       opt.static_partitions = true;
@@ -273,12 +280,52 @@ bool run_spmv(dsy::DeepSystem& system, const Options& opt,
 
 }  // namespace
 
+/// Minimal synchronous service loop: one request per line, one response per
+/// line, jobs run one at a time.  deepsimd is the pipelined daemon with
+/// socket support and fork-per-job mode; this keeps one-off scripted use
+/// ("pipe specs through deepsim") dependency-free.
+int serve_loop() {
+  namespace dsv = deep::svc;
+  dsv::Service service(dsv::ServiceConfig{});
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const dsv::ParseResult parsed = dsv::Json::parse(line);
+    const dsv::Json* op = parsed.ok ? parsed.value.find("op") : nullptr;
+    const std::string op_name =
+        op != nullptr && op->is_string() ? op->as_string() : "";
+    if (op_name == "run") {
+      const dsv::Json* spec = parsed.value.find("spec");
+      const dsv::JobResult r =
+          service.run(spec != nullptr ? spec->dump() : "null");
+      std::cout << r.to_json().dump() << '\n' << std::flush;
+    } else if (op_name == "stats") {
+      dsv::Json j = dsv::Json::object();
+      j.set("status", "ok");
+      j.set("stats", service.stats_json());
+      std::cout << j.dump() << '\n' << std::flush;
+    } else if (op_name == "quit") {
+      std::cout << "{\"status\":\"ok\"}\n" << std::flush;
+      break;
+    } else {
+      dsv::Json err = dsv::Json::object();
+      err.set("status", "rejected");
+      err.set("reject", dsv::Reject{"bad_op", "op",
+                                    "expected \"run\", \"stats\" or \"quit\""}
+                            .to_json());
+      std::cout << err.dump() << '\n' << std::flush;
+    }
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) {
     usage();
     return 2;
   }
+  if (opt.serve) return serve_loop();
 
   dsy::SystemConfig config;
   config.cluster_nodes = opt.cluster;
