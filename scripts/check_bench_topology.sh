@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# CI gate for the cross-topology answer matrix (docs/topologies.md).
+#
+# Compares a fresh bench_topology measurement against the checked-in
+# baseline (results/BENCH_topology.json).  Everything here is
+# host-independent — per-cell fingerprints are FNV-1a hashes of full
+# session outputs and every timing is virtual — so nothing is ever waived:
+#
+#   * every matrix cell must reproduce bit-identically across its two
+#     in-process runs (runs_identical), verify OK when chaos is off, and
+#     hash to the same fingerprint as the checked-in baseline cell;
+#   * the deep topology must ignore the adaptive flag byte-for-byte (the
+#     torus has no adaptive mode — a fingerprint that moves means the flag
+#     leaked into the simulation);
+#   * relative orderings must hold: a non-blocking fat-tree completes
+#     cross-leaf exchange no later than an oversubscribed one, adaptive
+#     routing no later than static under colliding traffic (both fabrics),
+#     and a dragonfly with a killed global link reroutes (zero drops,
+#     Valiant detours taken) where the torus drops.
+#
+# On a passing run the check appends a dated entry to the baseline's
+# "history" array, accumulating a measurement log across PRs.
+#
+# Usage: scripts/check_bench_topology.sh [measured.json] [baseline.json]
+#   defaults: results/BENCH_topology_ci.json, results/BENCH_topology.json
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MEASURED="${1:-$ROOT/results/BENCH_topology_ci.json}"
+BASELINE="${2:-$ROOT/results/BENCH_topology.json}"
+
+if [ ! -f "$MEASURED" ]; then
+  echo "check_bench_topology: no measurement at $MEASURED" >&2
+  echo "check_bench_topology: run scripts/run_bench_topology.sh first" >&2
+  exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "check_bench_topology: no baseline at $BASELINE" >&2
+  exit 1
+fi
+
+python3 - "$MEASURED" "$BASELINE" <<'EOF'
+import datetime
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    measured = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+
+failures = []
+
+def cell_key(c):
+    return (c["topology"], c["workload"], c["adaptive"], c["chaos"])
+
+matrix = measured.get("matrix", {})
+cells = matrix.get("cells", [])
+base_cells = {cell_key(c): c for c in baseline.get("matrix", {}).get("cells", [])}
+
+print(f"check_bench_topology: {len(cells)} cells, smoke={measured.get('smoke')}")
+if len(cells) != len(base_cells) or not cells:
+    failures.append(
+        f"cell count changed: measured {len(cells)}, baseline {len(base_cells)}"
+        " — regenerate the baseline deliberately if the matrix grew")
+
+for c in cells:
+    key = cell_key(c)
+    name = "{}/{}/adaptive={}/chaos={}".format(*key)
+    if not c.get("runs_identical"):
+        failures.append(f"{name}: two in-process runs diverged — determinism broken")
+    if not c["chaos"] and not c.get("ok"):
+        failures.append(f"{name}: clean cell failed workload verification")
+    base = base_cells.get(key)
+    if base is None:
+        failures.append(f"{name}: not in baseline")
+    elif c.get("fingerprint") != base.get("fingerprint"):
+        failures.append(
+            f"{name}: fingerprint {c.get('fingerprint')} != baseline "
+            f"{base.get('fingerprint')} — the simulation's observable behaviour "
+            "changed; if intended, regenerate results/BENCH_topology.json with "
+            "scripts/run_bench_topology.sh and commit it")
+
+for flag in ("all_runs_identical", "clean_cells_ok", "deep_adaptive_noop"):
+    if not matrix.get(flag):
+        failures.append(f"matrix.{flag} is false")
+
+o = measured.get("orderings", {})
+def require(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+require(o.get("flows_identical"), "fabric-level flows diverged across repeats")
+require(o.get("fattree_nonblocking_ps", 1) <= o.get("fattree_oversub_ps", 0),
+        "ordering broken: non-blocking fat-tree slower than oversubscribed "
+        "on cross-leaf traffic")
+require(o.get("fattree_adaptive_ps", 1) <= o.get("fattree_nonblocking_ps", 0),
+        "ordering broken: adaptive plane selection slower than static ECMP "
+        "under colliding cross-leaf traffic")
+require(o.get("dragonfly_adaptive_ps", 1) <= o.get("dragonfly_minimal_ps", 0),
+        "ordering broken: dragonfly UGAL slower than minimal routing under "
+        "adversarial group-to-group traffic")
+require(o.get("dragonfly_adaptive_detours", 0) > 0,
+        "dragonfly UGAL took no Valiant detours under adversarial traffic")
+require(o.get("dragonfly_chaos_drops", 1) == 0,
+        "dragonfly dropped messages after a global-link kill — path "
+        "diversity fallback broken")
+require(o.get("dragonfly_chaos_detours", 0) > 0,
+        "dragonfly global-link kill caused no reroutes")
+require(o.get("torus_chaos_drops", 0) > 0,
+        "torus delivered across a killed link — dimension-ordered routing "
+        "should have no alternative path")
+
+print(f"  fattree: nonblocking {o.get('fattree_nonblocking_ps', 0)/1e6:.1f} us"
+      f" <= oversub {o.get('fattree_oversub_ps', 0)/1e6:.1f} us;"
+      f" adaptive {o.get('fattree_adaptive_ps', 0)/1e6:.1f} us")
+print(f"  dragonfly: adaptive {o.get('dragonfly_adaptive_ps', 0)/1e6:.1f} us"
+      f" <= minimal {o.get('dragonfly_minimal_ps', 0)/1e6:.1f} us"
+      f" ({o.get('dragonfly_adaptive_detours')} detours)")
+print(f"  chaos: dragonfly drops {o.get('dragonfly_chaos_drops')} "
+      f"(detours {o.get('dragonfly_chaos_detours')}), "
+      f"torus drops {o.get('torus_chaos_drops')}")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}")
+    sys.exit(1)
+
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "status": "pass",
+    "smoke": measured.get("smoke"),
+    "cells": len(cells),
+}
+baseline.setdefault("history", []).append(entry)
+with open(sys.argv[2], "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(f"history: appended {entry['date']} entry to {sys.argv[2]}")
+print(f"PASS: {len(cells)} cells fingerprint-stable; all orderings hold")
+EOF

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the cross-topology answer matrix (torus vs fat-tree vs dragonfly,
+# adaptive/chaos variants over stencil/spmv/gateway-offload sessions) and
+# records results/BENCH_topology.json.  Every number in the file is virtual
+# time — per-cell fingerprints, completion times, drop/detour counts — so
+# the whole file is host-independent and scripts/check_bench_topology.sh
+# gates it byte-for-byte against the checked-in baseline.
+#
+# Usage: scripts/run_bench_topology.sh [build-dir] [output.json]
+#   defaults: build, results/BENCH_topology.json
+#   BENCH_ARGS="--smoke" for CI symmetry with the other benches; the matrix
+#   is virtual-time-bound either way, so smoke runs must reproduce the
+#   committed fingerprints exactly.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/results/BENCH_topology.json}"
+
+if [ ! -x "$BUILD/bench/bench_topology" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j "$(nproc)" --target bench_topology
+fi
+
+mkdir -p "$(dirname "$OUT")"
+"$BUILD/bench/bench_topology" --json "$OUT" ${BENCH_ARGS:-}
+echo "wrote $OUT"

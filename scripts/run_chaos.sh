@@ -10,10 +10,12 @@
 # cross-partition teardown/wake edge cases — label: parallel) and the
 # resiliency suite (multi-level checkpoint/restart: 32-seed kill schedules
 # that must complete bit-identically, NVM/FS/buddy unit tests — label:
-# resiliency) and the service suite (multi-tenant session isolation,
-# result-cache identity, chaos-job containment — label: service) ride along
-# so the pooled hot path, the observability layer, the threaded engine, the
-# recovery path and the daemon are sanitised too.
+# resiliency), the service suite (multi-tenant session isolation,
+# result-cache identity, chaos-job containment — label: service) and the
+# topology suite (dragonfly/fat-tree adaptive routing, reroute-under-fault
+# determinism, cross-topology sessions — label: topology) ride along so the
+# pooled hot path, the observability layer, the threaded engine, the
+# recovery path, the daemon and the swapped fabrics are sanitised too.
 #
 # Usage: scripts/run_chaos.sh [build-dir]
 #   default build dir: build-asan (configured from the `asan` CMake preset)
@@ -25,17 +27,17 @@ if [ ! -d "$BUILD" ]; then
   echo "== configuring $BUILD (asan preset) =="
   cmake --preset asan
 fi
-echo "== building chaos/netperf/obs/metrics/parallel/resiliency/service tests in $BUILD =="
+echo "== building chaos/netperf/obs/metrics/parallel/resiliency/service/topology tests in $BUILD =="
 cmake --build "$BUILD" \
   --target chaos_test netperf_test obs_test metrics_test parallel_test \
-  resiliency_test service_test \
+  resiliency_test service_test topology_test \
   -j "$(nproc)"
 
 # Guard against silently-empty suites: a typo'd or unregistered label would
 # otherwise make `ctest -L` select nothing and "pass".  Every expected label
 # must match at least one test.
 echo "== verifying suite labels are populated =="
-for label in chaos perf metrics parallel resiliency service; do
+for label in chaos perf metrics parallel resiliency service topology; do
   count=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null |
     sed -n 's/^Total Tests: *//p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
@@ -45,7 +47,7 @@ for label in chaos perf metrics parallel resiliency service; do
   echo "   label '$label': $count test(s)"
 done
 
-echo "== running chaos + perf + metrics + parallel + resiliency + service suites =="
-ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel|resiliency|service' \
+echo "== running chaos + perf + metrics + parallel + resiliency + service + topology suites =="
+ctest --test-dir "$BUILD" -L 'chaos|perf|metrics|parallel|resiliency|service|topology' \
   -E bench_fabric_smoke --output-on-failure "$@"
 echo "chaos suite passed: sweeps replayed bit-identically (traces and metric snapshots)"

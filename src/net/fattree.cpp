@@ -128,17 +128,36 @@ void FatTreeFabric::send(Message msg, Service svc) {
   int switches = 1;
   int plane = 0;
   if (src_leaf != dst_leaf) {
-    // Static ECMP: a well-mixed hash of (src, dst) picks the uplink / spine
-    // plane for this pair (linear hashes degenerate on strided traffic).
-    std::uint64_t h = (static_cast<std::uint64_t>(msg.src) << 32) ^
-                      static_cast<std::uint64_t>(msg.dst);
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    h *= 0xc4ceb9fe1a85ec53ULL;
-    h ^= h >> 33;
-    plane = static_cast<int>(h % static_cast<std::uint64_t>(params_.uplinks));
     switches = 3;
+    if (params_.routing == FatTreeRouting::Adaptive && !partitioned()) {
+      // Least-loaded plane: the spine plane whose up/down trunk pair frees
+      // earliest, lowest index on ties.  Reads only the simulated link-busy
+      // table, so the choice — and the whole run — replays bit-identically.
+      // Partitioned runs fall back to the ECMP hash below: trunk state is
+      // owned per-leaf-partition there and must not be read cross-worker.
+      sim::TimePoint best{};
+      for (int u = 0; u < params_.uplinks; ++u) {
+        const sim::TimePoint busy =
+            std::max(link_free_.at(trunk(src_leaf, u, Dir::Up)),
+                     link_free_.at(trunk(dst_leaf, u, Dir::Down)));
+        if (u == 0 || busy < best) {
+          best = busy;
+          plane = u;
+        }
+      }
+    } else {
+      // Static ECMP: a well-mixed hash of (src, dst) picks the uplink /
+      // spine plane for this pair (linear hashes degenerate on strided
+      // traffic).
+      std::uint64_t h = (static_cast<std::uint64_t>(msg.src) << 32) ^
+                        static_cast<std::uint64_t>(msg.dst);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      h *= 0xc4ceb9fe1a85ec53ULL;
+      h ^= h >> 33;
+      plane = static_cast<int>(h % static_cast<std::uint64_t>(params_.uplinks));
+    }
   }
 
   if (!partitioned()) {

@@ -23,12 +23,20 @@
 
 namespace deep::net {
 
+/// Spine-plane selection for cross-leaf traffic.
+enum class FatTreeRouting {
+  Ecmp,      // static hash of (src, dst), as IB subnet managers route
+  Adaptive,  // least-loaded plane by simulated trunk-busy state; replays
+             // stay bit-identical (the choice keys only on link_free_)
+};
+
 struct FatTreeParams {
   int leaf_radix = 8;  // nodes per leaf switch
   int uplinks = 8;     // leaf->spine links (== leaf_radix: non-blocking)
   sim::Duration adapter_latency = sim::from_nanos(400);  // NIC each end
   sim::Duration switch_latency = sim::from_nanos(200);   // per switch hop
   double bandwidth_bytes_per_sec = 6.0e9;
+  FatTreeRouting routing = FatTreeRouting::Ecmp;
 };
 
 class FatTreeFabric final : public Fabric {

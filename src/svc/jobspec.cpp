@@ -50,6 +50,14 @@ std::optional<JobSpec> JobSpec::from_json(const Json& j, Reject& reject) {
     }
     spec.workload = w->as_string();
   }
+  if (const Json* t = j.find("topology")) {
+    if (!t->is_string()) {
+      reject = {"bad_spec", "topology", "'topology' must be a string"};
+      return std::nullopt;
+    }
+    spec.topology = t->as_string();
+  }
+  if (!read_bool(j, "adaptive", spec.adaptive, reject)) return std::nullopt;
   if (!read_int(j, "cluster", spec.cluster, reject)) return std::nullopt;
   if (!read_int(j, "booster", spec.booster, reject)) return std::nullopt;
   if (!read_int(j, "gateways", spec.gateways, reject)) return std::nullopt;
@@ -151,6 +159,15 @@ bool JobSpec::validate(Reject& reject) const {
                   "' (expected stencil|spmv|nbody|cholesky)"};
     return false;
   }
+  {
+    sys::Topology t;
+    if (!sys::parse_topology(topology, t)) {
+      reject = {"bad_topology", "topology",
+                "unknown topology '" + topology +
+                    "' (expected deep|fattree|dragonfly)"};
+      return false;
+    }
+  }
   if (cluster < 1) {
     reject = {"bad_topology", "cluster", "need at least one cluster node"};
     return false;
@@ -238,6 +255,8 @@ bool JobSpec::validate(Reject& reject) const {
 Json JobSpec::to_json() const {
   Json j = Json::object();
   j.set("workload", workload);
+  j.set("topology", topology);
+  j.set("adaptive", adaptive);
   j.set("cluster", cluster);
   j.set("booster", booster);
   j.set("gateways", gateways);
@@ -275,6 +294,10 @@ Json JobSpec::to_json() const {
 
 sys::SystemConfig JobSpec::to_config() const {
   sys::SystemConfig config;
+  // validate() vetted the name; parse_topology leaves the Deep default on
+  // the (unreachable) unknown branch.
+  sys::parse_topology(topology, config.topology);
+  config.adaptive_routing = adaptive;
   config.cluster_nodes = cluster;
   config.booster_nodes = booster;
   config.gateways = gateways;

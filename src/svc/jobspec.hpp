@@ -67,6 +67,8 @@ struct SpecFaults {
 
 struct JobSpec {
   std::string workload = "stencil";  // stencil | spmv | nbody | cholesky
+  std::string topology = "deep";     // deep | fattree | dragonfly
+  bool adaptive = false;  // congestion-aware routing on the booster fabric
   int cluster = 4;
   int booster = 8;
   int gateways = 2;

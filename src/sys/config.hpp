@@ -2,6 +2,7 @@
 // System-level configuration of a simulated DEEP machine.
 
 #include <array>
+#include <string>
 
 #include "cbp/gateway.hpp"
 #include "ckpt/checkpoint.hpp"
@@ -10,6 +11,8 @@
 #include "io/ionet.hpp"
 #include "mpi/system.hpp"
 #include "net/crossbar.hpp"
+#include "net/dragonfly.hpp"
+#include "net/fattree.hpp"
 #include "net/fault.hpp"
 #include "net/torus.hpp"
 #include "sim/time.hpp"
@@ -23,6 +26,23 @@ enum class AllocPolicy {
   Dynamic,          // one shared pool; any free booster node can serve anyone
   StaticPartition,  // pool pre-divided into fixed partitions per consumer
 };
+
+/// Booster-interconnect topology (docs/topologies.md).  Deep is the paper's
+/// machine: EXTOLL 3-D torus booster behind the InfiniBand crossbar cluster.
+/// FatTree and Dragonfly swap the *booster* fabric for the competing
+/// designs (Solnushkin's fat-tree of many-core nodes; the modern dragonfly
+/// counterfactual) while keeping the cluster, gateways and CBP bridge —
+/// the comparison the cross-topology bench matrix answers.
+enum class Topology {
+  Deep,
+  FatTree,
+  Dragonfly,
+};
+
+/// Canonical lower-case name ("deep" | "fattree" | "dragonfly").
+const char* topology_name(Topology t);
+/// Parses a canonical name; false (out untouched) for unknown names.
+bool parse_topology(const std::string& name, Topology& out);
 
 /// Observability (docs/observability.md): when enabled, DeepSystem owns an
 /// obs::Registry and attaches it to the engine before building any layer, so
@@ -41,8 +61,20 @@ struct SystemConfig {
   hw::NodeSpec booster_spec = hw::knc_booster_node();
   hw::NodeSpec gateway_spec = hw::gateway_node();
 
+  /// Which fabric the booster nodes (and the booster side of the gateways)
+  /// live on.  Deep keeps `extoll`; FatTree/Dragonfly use the params below,
+  /// auto-grown when too small for booster_nodes + gateways.
+  Topology topology = Topology::Deep;
+  /// Congestion-aware routing on the booster fabric: least-loaded-uplink on
+  /// the fat-tree, UGAL on the dragonfly (no effect on the torus, whose
+  /// dimension-ordered routes are fixed).  Deterministic — the choice keys
+  /// only on simulated link-busy state.
+  bool adaptive_routing = false;
+
   net::CrossbarParams ib;
   net::TorusParams extoll;  // dims auto-derived when left {0,0,0}
+  net::FatTreeParams fattree;      // booster fabric when topology == FatTree
+  net::DragonflyParams dragonfly;  // booster fabric when topology == Dragonfly
   cbp::BridgeParams bridge;
   mpi::MpiParams mpi;
   MetricsParams metrics;
@@ -95,6 +127,10 @@ struct SystemConfig {
 
 /// Derives a reasonably cubic torus for `n` booster nodes (plus gateways).
 std::array<int, 3> derive_torus_dims(int n);
+
+/// Grows dragonfly (groups, routers_per_group, nodes_per_router) until the
+/// fabric holds `n` nodes, keeping the three dimensions balanced.
+net::DragonflyParams derive_dragonfly_dims(net::DragonflyParams base, int n);
 
 /// Resolves `--workers auto`: one engine worker per host core, clamped to
 /// the partition count (extra workers would only park at the barriers) and

@@ -44,7 +44,7 @@ std::string format_report(DeepSystem& system) {
   util::Table fabrics({"fabric", "messages", "bytes", "mean_us", "max_us",
                        "dropped", "links_down"});
   fabric_rows(fabrics, system.ib());
-  fabric_rows(fabrics, system.extoll());
+  fabric_rows(fabrics, system.booster_fabric());
   os << fabrics.to_pretty() << '\n';
 
   util::Table gw({"gateway", "forwarded_msgs", "forwarded_bytes", "timeouts",

@@ -35,6 +35,51 @@ bool ProgramRegistry::contains(const std::string& name) const {
 // DeepSystem construction
 // ---------------------------------------------------------------------------
 
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::Deep:
+      return "deep";
+    case Topology::FatTree:
+      return "fattree";
+    case Topology::Dragonfly:
+      return "dragonfly";
+  }
+  return "deep";
+}
+
+bool parse_topology(const std::string& name, Topology& out) {
+  if (name == "deep") {
+    out = Topology::Deep;
+  } else if (name == "fattree") {
+    out = Topology::FatTree;
+  } else if (name == "dragonfly") {
+    out = Topology::Dragonfly;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+net::DragonflyParams derive_dragonfly_dims(net::DragonflyParams base, int n) {
+  DEEP_EXPECT(n >= 1, "derive_dragonfly_dims: need at least one node");
+  if (base.groups < 2) base.groups = 2;
+  if (base.routers_per_group < 1) base.routers_per_group = 1;
+  if (base.nodes_per_router < 1) base.nodes_per_router = 1;
+  // Grow the smallest dimension first (groups on ties: more groups means
+  // more global-link path diversity for Valiant/adaptive routing).
+  while (base.groups * base.routers_per_group * base.nodes_per_router < n) {
+    if (base.groups <= base.routers_per_group &&
+        base.groups <= base.nodes_per_router) {
+      ++base.groups;
+    } else if (base.routers_per_group <= base.nodes_per_router) {
+      ++base.routers_per_group;
+    } else {
+      ++base.nodes_per_router;
+    }
+  }
+  return base;
+}
+
 std::array<int, 3> derive_torus_dims(int n) {
   DEEP_EXPECT(n >= 1, "derive_torus_dims: need at least one node");
   // Smallest near-cubic box with capacity >= n.
@@ -88,16 +133,40 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     engine_.set_metrics(metrics_.get());
   }
 
-  net::TorusParams torus = config_.extoll;
-  const int torus_capacity = torus.dims[0] * torus.dims[1] * torus.dims[2];
-  if (torus.dims == std::array<int, 3>{0, 0, 0} ||
-      torus_capacity < config_.booster_nodes + config_.gateways) {
-    torus.dims = derive_torus_dims(config_.booster_nodes + config_.gateways);
-  }
-
   ib_ = std::make_unique<net::CrossbarFabric>(engine_, "infiniband", config_.ib);
-  extoll_ = std::make_unique<net::TorusFabric>(engine_, "extoll", torus);
-  bridge_ = std::make_unique<cbp::BridgedTransport>(engine_, *ib_, *extoll_,
+  // The booster interconnect is selected by config.topology; the cluster
+  // crossbar, the gateways and the CBP bridge stay the same, so the machine
+  // differs ONLY in its booster fabric — the head-to-head comparison the
+  // topology bench matrix runs (docs/topologies.md).
+  const int booster_slots = config_.booster_nodes + config_.gateways;
+  switch (config_.topology) {
+    case Topology::Deep: {
+      net::TorusParams torus = config_.extoll;
+      const int torus_capacity = torus.dims[0] * torus.dims[1] * torus.dims[2];
+      if (torus.dims == std::array<int, 3>{0, 0, 0} ||
+          torus_capacity < booster_slots) {
+        torus.dims = derive_torus_dims(booster_slots);
+      }
+      booster_ = std::make_unique<net::TorusFabric>(engine_, "extoll", torus);
+      break;
+    }
+    case Topology::FatTree: {
+      net::FatTreeParams ft = config_.fattree;
+      if (config_.adaptive_routing) ft.routing = net::FatTreeRouting::Adaptive;
+      booster_ = std::make_unique<net::FatTreeFabric>(engine_, "fattree", ft);
+      break;
+    }
+    case Topology::Dragonfly: {
+      net::DragonflyParams df =
+          derive_dragonfly_dims(config_.dragonfly, booster_slots);
+      if (config_.adaptive_routing)
+        df.routing = net::DragonflyRouting::Adaptive;
+      booster_ =
+          std::make_unique<net::DragonflyFabric>(engine_, "dragonfly", df);
+      break;
+    }
+  }
+  bridge_ = std::make_unique<cbp::BridgedTransport>(engine_, *ib_, *booster_,
                                                     config_.bridge);
   mpi_ = std::make_unique<mpi::MpiSystem>(engine_, *bridge_, config_.mpi);
 
@@ -112,7 +181,7 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   for (int i = 0; i < config_.booster_nodes; ++i, ++next) {
     nodes_.push_back(std::make_unique<hw::Node>(
         next, "bn" + std::to_string(i), config_.booster_spec));
-    extoll_->attach(next);
+    booster_->attach(next);
     bridge_->register_booster_node(next);
     booster_ids_.push_back(next);
   }
@@ -120,7 +189,7 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     nodes_.push_back(std::make_unique<hw::Node>(
         next, "bi" + std::to_string(i), config_.gateway_spec));
     ib_->attach(next);
-    extoll_->attach(next);
+    booster_->attach(next);
     bridge_->register_gateway(next);
     gateway_ids_.push_back(next);
   }
@@ -134,12 +203,12 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
     opts.first_partition = 1;
     opts.pinned = gateway_ids_;
     opts.pin_to = 0;
-    net::auto_partition(*extoll_,
+    net::auto_partition(*booster_,
                         static_cast<std::uint32_t>(config_.partitions - 1),
                         opts);
     // The crossbar never carries cross-partition traffic (cluster nodes and
     // gateways all live on partition 0) and reports unconstrained pairs.
-    net::install_pair_lookahead(engine_, {ib_.get(), extoll_.get()});
+    net::install_pair_lookahead(engine_, {ib_.get(), booster_.get()});
   }
 
   if (config_.ckpt.active()) {
@@ -157,12 +226,12 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
                  : nullptr;
     });
     for (hw::NodeId id : cluster_ids_) ionet_->attach(ib_->nic(id));
-    for (hw::NodeId id : booster_ids_) ionet_->attach(extoll_->nic(id));
+    for (hw::NodeId id : booster_ids_) ionet_->attach(booster_->nic(id));
     for (hw::NodeId id : gateway_ids_) {
       // Gateways sit on both fabrics; booster-side requests arrive on the
       // EXTOLL NIC, cluster-side ones on the InfiniBand NIC.
       ionet_->attach(ib_->nic(id));
-      ionet_->attach(extoll_->nic(id));
+      ionet_->attach(booster_->nic(id));
     }
     fs_ = std::make_unique<io::ParallelFs>(*ionet_, gateway_ids_, config_.fs);
   }
@@ -182,7 +251,7 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
   if (config_.faults.active()) {
     fault_plan_ = std::make_unique<net::FaultPlan>(engine_, config_.faults);
     fault_plan_->attach(*ib_);
-    fault_plan_->attach(*extoll_);
+    fault_plan_->attach(*booster_);
     fault_plan_->set_gateway_control([this](hw::NodeId gw, bool up) {
       bridge_->set_gateway_up(gw, up);
     });
@@ -199,6 +268,20 @@ DeepSystem::DeepSystem(SystemConfig config) : config_(std::move(config)) {
 }
 
 DeepSystem::~DeepSystem() = default;
+
+net::TorusFabric& DeepSystem::extoll() {
+  DEEP_EXPECT(config_.topology == Topology::Deep,
+              "DeepSystem::extoll: booster fabric is not the EXTOLL torus "
+              "(config.topology != Deep)");
+  return static_cast<net::TorusFabric&>(*booster_);
+}
+
+net::DragonflyFabric& DeepSystem::dragonfly() {
+  DEEP_EXPECT(config_.topology == Topology::Dragonfly,
+              "DeepSystem::dragonfly: booster fabric is not a dragonfly "
+              "(config.topology != Dragonfly)");
+  return static_cast<net::DragonflyFabric&>(*booster_);
+}
 
 hw::Node& DeepSystem::cluster_node(int i) {
   DEEP_EXPECT(i >= 0 && i < static_cast<int>(cluster_ids_.size()),
@@ -225,7 +308,7 @@ hw::Node& DeepSystem::node(hw::NodeId id) {
 std::uint32_t DeepSystem::node_partition_of(hw::NodeId id) const {
   // Booster nodes carry their torus block's partition; cluster nodes and
   // gateways (pinned there by construction) live on partition 0.
-  return extoll_->attached(id) ? extoll_->partition_of(id) : 0;
+  return booster_->attached(id) ? booster_->partition_of(id) : 0;
 }
 
 void DeepSystem::start_rank_process(
@@ -363,7 +446,7 @@ ResilientJob& DeepSystem::launch_resilient(const std::string& name, int nprocs,
   // Any fabric traffic counts as watchdog progress: long checkpoint-free
   // stretches of a healthy job cannot be mistaken for a stall.
   entry.job->set_progress_probe([this] {
-    return ib_->stats().messages + extoll_->stats().messages;
+    return ib_->stats().messages + booster_->stats().messages;
   });
   resilient_.push_back(std::move(entry));
   ResilientJob& job = *resilient_.back().job;

@@ -20,6 +20,8 @@
 #include "io/ionet.hpp"
 #include "mpi/mpi.hpp"
 #include "net/crossbar.hpp"
+#include "net/dragonfly.hpp"
+#include "net/fattree.hpp"
 #include "net/fault.hpp"
 #include "net/torus.hpp"
 #include "ompss/offload.hpp"
@@ -104,7 +106,14 @@ class DeepSystem {
   ResourceManager& resource_manager() { return *rm_; }
   cbp::BridgedTransport& bridge() { return *bridge_; }
   net::CrossbarFabric& ib() { return *ib_; }
-  net::TorusFabric& extoll() { return *extoll_; }
+  /// The booster interconnect, whatever config().topology selected.
+  net::Fabric& booster_fabric() { return *booster_; }
+  const net::Fabric& booster_fabric() const { return *booster_; }
+  /// The EXTOLL torus (Deep topology only — guards against a silent
+  /// downcast when the booster fabric is a fat-tree or dragonfly).
+  net::TorusFabric& extoll();
+  /// The dragonfly booster fabric (Dragonfly topology only).
+  net::DragonflyFabric& dragonfly();
   mpi::MpiSystem& mpi_system() { return *mpi_; }
   /// The armed fault plan, or nullptr when config().faults is inactive.
   net::FaultPlan* fault_plan() { return fault_plan_.get(); }
@@ -164,7 +173,7 @@ class DeepSystem {
   std::vector<hw::NodeId> booster_ids_;
   std::vector<hw::NodeId> gateway_ids_;
   std::unique_ptr<net::CrossbarFabric> ib_;
-  std::unique_ptr<net::TorusFabric> extoll_;
+  std::unique_ptr<net::Fabric> booster_;  // torus | fat tree | dragonfly
   std::unique_ptr<cbp::BridgedTransport> bridge_;
   std::unique_ptr<mpi::MpiSystem> mpi_;
   std::unique_ptr<io::IoNet> ionet_;

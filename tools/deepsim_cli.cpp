@@ -67,6 +67,8 @@ struct Options {
   int cluster = 4;
   int booster = 8;
   int gateways = 2;
+  std::string topology = "deep";  // deep | fattree | dragonfly
+  bool adaptive = false;
   std::string workload = "stencil";
   int procs = 4;
   int steps = 3;
@@ -86,6 +88,8 @@ void usage() {
   std::puts(
       "deepsim — simulated DEEP cluster-booster machine\n"
       "  --cluster N   --booster N   --gateways N\n"
+      "  --topology deep|fattree|dragonfly (booster fabric; default deep)\n"
+      "  --adaptive (congestion-aware routing on fattree/dragonfly)\n"
       "  --workload stencil|cholesky|nbody   --procs N   --steps N\n"
       "  --static-partitions   --workers N|auto   --partitions N|auto\n"
       "  --speculate K|auto|off   --wallclock-metrics   --trace FILE   --report\n"
@@ -114,6 +118,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.booster = std::atoi(next());
     } else if (arg == "--gateways") {
       opt.gateways = std::atoi(next());
+    } else if (arg == "--topology") {
+      opt.topology = next();
+    } else if (arg == "--adaptive") {
+      opt.adaptive = true;
     } else if (arg == "--procs") {
       opt.procs = std::atoi(next());
     } else if (arg == "--steps") {
@@ -328,6 +336,13 @@ int main(int argc, char** argv) {
   if (opt.serve) return serve_loop();
 
   dsy::SystemConfig config;
+  if (!dsy::parse_topology(opt.topology, config.topology)) {
+    std::fprintf(stderr,
+                 "unknown topology '%s' (expected deep|fattree|dragonfly)\n",
+                 opt.topology.c_str());
+    return 2;
+  }
+  config.adaptive_routing = opt.adaptive;
   config.cluster_nodes = opt.cluster;
   config.booster_nodes = opt.booster;
   config.gateways = opt.gateways;
